@@ -1,0 +1,135 @@
+package fatgather
+
+// One benchmark per evaluation artifact (E1..E12); see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results. The benchmarks
+// call the same drivers as cmd/gatherbench with a reduced budget so that
+// `go test -bench=.` stays tractable; run cmd/gatherbench for the full-size
+// tables.
+
+import (
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/experiments"
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/vision"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// benchCfg is the reduced budget used by the benchmark harness.
+var benchCfg = experiments.Config{Seeds: 1, MaxEvents: 30000}
+
+func BenchmarkFig1StateCycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E1StateCycle(benchCfg)
+	}
+}
+
+func BenchmarkFig2MoveToPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E2MoveToPoint(benchCfg)
+	}
+}
+
+func BenchmarkFig3FindPoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E3FindPoints(benchCfg)
+	}
+}
+
+func BenchmarkFig5StraightLine(b *testing.B) {
+	// The straight-line rectangle test is part of the E3 driver; benchmark
+	// the underlying simulation from a collinear start, which exercises it on
+	// every Compute of the middle robots.
+	cfg, err := GenerateWorkload(WorkloadCollinear, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Options{Initial: cfg, MaxEvents: 2000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4StateCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E4StateCoverage(benchCfg)
+	}
+}
+
+func BenchmarkGatheringVsN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E5GatheringVsN(benchCfg, []int{2, 4, 6})
+	}
+}
+
+func BenchmarkTimeToFullVisibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E6PhaseOne(benchCfg, 5)
+	}
+}
+
+func BenchmarkTimeToConnected(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E7PhaseTwo(benchCfg, []int{4, 6})
+	}
+}
+
+func BenchmarkHullMonotonicity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E8HullMonotonicity(benchCfg, 5)
+	}
+}
+
+func BenchmarkAdversaryStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E9Adversaries(benchCfg, 4)
+	}
+}
+
+func BenchmarkVsBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E10Baselines(benchCfg, []int{3, 5})
+	}
+}
+
+func BenchmarkDeltaSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E11Delta(benchCfg, 4)
+	}
+}
+
+func BenchmarkGeometryPrimitives(b *testing.B) {
+	pts := workload.Ring(128, 300)
+	b.Run("convex-hull-128", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = geom.ConvexHull(pts)
+		}
+	})
+	b.Run("visibility-pair-128", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = vision.Default.Visible(pts, 0, 64)
+		}
+	})
+	b.Run("experiment-table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = experiments.E12Primitives(benchCfg)
+		}
+	})
+}
+
+// BenchmarkEndToEndGathering measures a complete run of the public API on a
+// small clustered workload (the quickstart scenario).
+func BenchmarkEndToEndGathering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Options{N: 4, Workload: WorkloadClustered, Seed: 1, MaxEvents: 120000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Gathered {
+			b.Fatal("benchmark run did not gather")
+		}
+	}
+}

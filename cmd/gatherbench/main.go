@@ -1,0 +1,53 @@
+// Command gatherbench runs the experiment suite (E1..E12 from DESIGN.md /
+// EXPERIMENTS.md) and prints each resulting table. Individual experiments can
+// be selected by id.
+//
+// Example:
+//
+//	gatherbench -seeds 5                 # full suite
+//	gatherbench -only E5,E10 -seeds 3    # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/fatgather/fatgather/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gatherbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gatherbench", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 3, "seeds per experiment cell")
+	maxEvents := fs.Int("max-events", 150000, "event budget per run")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Seeds: *seeds, MaxEvents: *maxEvents}
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			wanted[id] = true
+		}
+	}
+
+	for _, table := range experiments.All(cfg) {
+		if len(wanted) > 0 && !wanted[strings.ToUpper(table.ID)] {
+			continue
+		}
+		fmt.Fprintln(out, table.String())
+	}
+	return nil
+}

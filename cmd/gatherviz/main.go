@@ -1,0 +1,69 @@
+// Command gatherviz renders configurations and the paper's figures as SVG.
+//
+// Example:
+//
+//	gatherviz -figure fig2 -out fig2.svg
+//	gatherviz -workload nested-hulls -n 12 -seed 4 -out start.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	fatgather "github.com/fatgather/fatgather"
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gatherviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gatherviz", flag.ContinueOnError)
+	figure := fs.String("figure", "", "paper figure to render: fig1, fig2, fig3, fig5 (empty: render a workload)")
+	wl := fs.String("workload", "random", "workload kind to render when -figure is empty")
+	n := fs.Int("n", 8, "number of robots")
+	seed := fs.Int64("seed", 1, "workload seed")
+	outPath := fs.String("out", "", "output SVG path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var svg string
+	switch *figure {
+	case "fig1":
+		svg = viz.FigureStateCycle()
+	case "fig2":
+		svg = viz.FigureMoveToPoint(geom.V(0, 0), geom.V(8, 0), *n)
+	case "fig3":
+		hull := config.Geometric{geom.V(0, 0), geom.V(12, 0), geom.V(14, 9), geom.V(6, 14), geom.V(-2, 9)}
+		svg = viz.FigureFindPoints(hull, *n)
+	case "fig5":
+		svg = viz.FigureStraightLine(geom.V(0, 0), geom.V(5, 0.08), geom.V(10, 0), *n)
+	case "":
+		pts, err := fatgather.GenerateWorkload(fatgather.Workload(*wl), *n, *seed)
+		if err != nil {
+			return err
+		}
+		svg = fatgather.RenderSVG(pts)
+	default:
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+
+	if *outPath == "" {
+		fmt.Fprint(out, svg)
+		return nil
+	}
+	if err := os.WriteFile(*outPath, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}

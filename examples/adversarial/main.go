@@ -1,0 +1,39 @@
+// Adversarial: start from the hardest initial shape for opaque robots (all on
+// one straight line, where most robots can see only their immediate
+// neighbours) and run under a hostile scheduler. The example reports how long
+// each phase of the algorithm took under every adversary.
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	fatgather "github.com/fatgather/fatgather"
+)
+
+func main() {
+	const n = 5
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "adversary\tgathered\tevents\tto full visibility\tto gathered\tcollisions")
+	for _, adv := range fatgather.Adversaries() {
+		res, err := fatgather.Run(fatgather.Options{
+			N:         n,
+			Workload:  fatgather.WorkloadCollinear,
+			Adversary: adv,
+			Seed:      7,
+			MaxEvents: 150000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\t%d\n",
+			adv, res.Gathered, res.Events, res.EventsToFullVisibility, res.EventsToGathered, res.Collisions)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+// Quickstart: gather a handful of fat robots and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fatgather "github.com/fatgather/fatgather"
+)
+
+func main() {
+	res, err := fatgather.Run(fatgather.Options{
+		N:        6,
+		Workload: fatgather.WorkloadClustered,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gathered: %v (all robots terminated: %v)\n", res.Gathered, res.AllTerminated)
+	fmt.Printf("events: %d, cycles: %d, total distance: %.1f\n", res.Events, res.Cycles, res.DistanceTraveled)
+	fmt.Println("final configuration:")
+	fmt.Print(fatgather.RenderASCII(res.Final, 64, 20))
+}

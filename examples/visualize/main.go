@@ -1,0 +1,52 @@
+// Visualize: run a gathering and write SVG snapshots of the initial and final
+// configurations, plus reproductions of the paper's geometric figures, into
+// ./out (created if needed).
+//
+//	go run ./examples/visualize
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	fatgather "github.com/fatgather/fatgather"
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/viz"
+)
+
+func main() {
+	outDir := "out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name, contents string) {
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	initial, err := fatgather.GenerateWorkload(fatgather.WorkloadNestedHulls, 10, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("initial.svg", fatgather.RenderSVG(initial))
+
+	res, err := fatgather.Run(fatgather.Options{Initial: initial, N: len(initial), Seed: 4, MaxEvents: 300000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("final.svg", fatgather.RenderSVG(res.Final))
+	fmt.Printf("gathered: %v after %d events\n", res.Gathered, res.Events)
+
+	// Paper figure reproductions.
+	write("fig1-state-cycle.svg", viz.FigureStateCycle())
+	write("fig2-move-to-point.svg", viz.FigureMoveToPoint(geom.V(0, 0), geom.V(8, 0), 8))
+	hull := config.Geometric{geom.V(0, 0), geom.V(12, 0), geom.V(14, 9), geom.V(6, 14), geom.V(-2, 9)}
+	write("fig3-find-points.svg", viz.FigureFindPoints(hull, 8))
+	write("fig5-straight-line.svg", viz.FigureStraightLine(geom.V(0, 0), geom.V(5, 0.08), geom.V(10, 0), 8))
+}

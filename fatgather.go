@@ -1,0 +1,299 @@
+// Package fatgather is the public API of the fat-robot gathering library: a
+// from-scratch Go implementation of "A Distributed Algorithm for Gathering
+// Many Fat Mobile Robots in the Plane" (Agathangelou, Georgiou, Mavronicolas,
+// PODC 2013), together with the asynchronous Look-Compute-Move simulator,
+// adversary models, workload generators and baselines needed to evaluate it.
+//
+// The typical entry point is Run:
+//
+//	result, err := fatgather.Run(fatgather.Options{
+//		N:        8,
+//		Workload: fatgather.WorkloadClustered,
+//		Seed:     1,
+//	})
+//
+// which places 8 robots, runs the paper's distributed algorithm under an
+// asynchronous adversary, and reports whether (and how fast) the robots
+// gathered into a connected, fully visible configuration.
+package fatgather
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fatgather/fatgather/internal/baseline"
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/sched"
+	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/vision"
+	"github.com/fatgather/fatgather/internal/viz"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// Point is a position in the plane (the center of a unit-disc robot).
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Workload names an initial-placement generator.
+type Workload string
+
+// Available workloads.
+const (
+	WorkloadRandom      Workload = Workload(workload.KindRandom)
+	WorkloadClustered   Workload = Workload(workload.KindClustered)
+	WorkloadCollinear   Workload = Workload(workload.KindCollinear)
+	WorkloadGrid        Workload = Workload(workload.KindGrid)
+	WorkloadRing        Workload = Workload(workload.KindRing)
+	WorkloadTwoClusters Workload = Workload(workload.KindTwoClusters)
+	WorkloadNestedHulls Workload = Workload(workload.KindNestedHulls)
+)
+
+// Workloads lists all built-in workload names.
+func Workloads() []Workload {
+	kinds := workload.Kinds()
+	out := make([]Workload, len(kinds))
+	for i, k := range kinds {
+		out[i] = Workload(k)
+	}
+	return out
+}
+
+// AdversaryName names a scheduling strategy.
+type AdversaryName string
+
+// Available adversaries.
+const (
+	AdversaryFair         AdversaryName = "fair"
+	AdversaryRandomAsync  AdversaryName = "random-async"
+	AdversaryStopHappy    AdversaryName = "stop-happy"
+	AdversarySlowRobot    AdversaryName = "slow-robot"
+	AdversaryMoverStarver AdversaryName = "mover-starver"
+)
+
+// Adversaries lists all built-in adversary names.
+func Adversaries() []AdversaryName {
+	names := sched.Names()
+	out := make([]AdversaryName, len(names))
+	for i, n := range names {
+		out[i] = AdversaryName(n)
+	}
+	return out
+}
+
+// AlgorithmName names a local algorithm.
+type AlgorithmName string
+
+// Available algorithms: the paper's algorithm plus the comparison baselines.
+const (
+	AlgorithmPaper       AlgorithmName = "agm-gathering"
+	AlgorithmGravity     AlgorithmName = "baseline-gravity"
+	AlgorithmSmallN      AlgorithmName = "baseline-smalln"
+	AlgorithmTransparent AlgorithmName = "baseline-transparent"
+)
+
+// Algorithms lists all built-in algorithm names.
+func Algorithms() []AlgorithmName {
+	return []AlgorithmName{AlgorithmPaper, AlgorithmGravity, AlgorithmSmallN, AlgorithmTransparent}
+}
+
+// Options configures a gathering run.
+type Options struct {
+	// N is the number of robots (required unless Initial is given).
+	N int
+	// Workload selects the initial-placement generator (default
+	// WorkloadRandom). Ignored when Initial is non-empty.
+	Workload Workload
+	// Initial, when non-empty, is used verbatim as the initial configuration
+	// (centers of unit-disc robots; no two may overlap).
+	Initial []Point
+	// Seed drives both the workload generator and the adversary (default 1).
+	Seed int64
+	// Algorithm selects the local algorithm (default AlgorithmPaper).
+	Algorithm AlgorithmName
+	// Adversary selects the scheduler (default AdversaryRandomAsync).
+	Adversary AdversaryName
+	// Delta is the liveness minimum-progress distance (default 0.05).
+	Delta float64
+	// MaxEvents bounds the run (default 200000 events).
+	MaxEvents int
+	// StopWhenGathered stops as soon as the geometric goal holds rather than
+	// waiting for every robot to terminate locally.
+	StopWhenGathered bool
+}
+
+// Result reports a gathering run.
+type Result struct {
+	// Gathered is true when the final configuration is connected and fully
+	// visible (Definition 1 of the paper).
+	Gathered bool
+	// AllTerminated is true when every robot reached its Terminate state.
+	AllTerminated bool
+	// Events, Cycles and DistanceTraveled measure the cost of the run.
+	Events           int
+	Cycles           int
+	DistanceTraveled float64
+	// EventsToGathered is the event index at which the gathering goal first
+	// held (-1 if never).
+	EventsToGathered int
+	// EventsToFullVisibility is the event index at which all robots were on
+	// the hull and mutually visible (-1 if never).
+	EventsToFullVisibility int
+	// Collisions counts motions truncated by touching another robot.
+	Collisions int
+	// Final is the final configuration.
+	Final []Point
+	// Algorithm and Adversary echo the names used.
+	Algorithm string
+	Adversary string
+}
+
+// ErrBadOptions is returned for invalid option combinations.
+var ErrBadOptions = errors.New("fatgather: invalid options")
+
+// Run generates (or takes) an initial configuration and runs the selected
+// algorithm under the selected adversary until termination, the gathering
+// goal, or the event budget.
+func Run(opts Options) (Result, error) {
+	initial, err := initialConfig(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	alg, err := algorithmFor(opts.Algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	adv, err := adversaryFor(opts.Adversary, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sim.Run(initial, sim.Options{
+		Algorithm:        alg,
+		Adversary:        adv,
+		Delta:            opts.Delta,
+		MaxEvents:        opts.MaxEvents,
+		StopWhenGathered: opts.StopWhenGathered,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Gathered:               res.Gathered(),
+		AllTerminated:          res.Outcome == sim.OutcomeAllTerminated,
+		Events:                 res.Events,
+		Cycles:                 res.Cycles,
+		DistanceTraveled:       res.TotalDistance,
+		EventsToGathered:       res.Milestones.Gathered,
+		EventsToFullVisibility: res.Milestones.SafeConfig,
+		Collisions:             res.Collisions,
+		Final:                  toPoints(res.Final),
+		Algorithm:              res.Algorithm,
+		Adversary:              res.Adversary,
+	}, nil
+}
+
+// GenerateWorkload exposes the initial-placement generators.
+func GenerateWorkload(kind Workload, n int, seed int64) ([]Point, error) {
+	cfg, err := workload.Generate(workload.Kind(kind), n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return toPoints(cfg), nil
+}
+
+// RenderSVG renders a configuration as an SVG document (with the convex hull
+// of the centers drawn).
+func RenderSVG(points []Point) string {
+	return viz.SVG(fromPoints(points), viz.SVGOptions{DrawHull: true, Labels: true})
+}
+
+// RenderASCII renders a configuration as a coarse ASCII sketch.
+func RenderASCII(points []Point, cols, rows int) string {
+	return viz.ASCII(fromPoints(points), cols, rows)
+}
+
+// Validate checks that a configuration of robot centers is physically valid
+// (no two unit discs overlap).
+func Validate(points []Point) error {
+	return fromPoints(points).Validate()
+}
+
+// IsGathered reports whether the configuration satisfies the paper's
+// gathering goal: connected and fully visible.
+func IsGathered(points []Point) bool {
+	cfg := fromPoints(points)
+	return cfg.Gathered(vision.Default)
+}
+
+func initialConfig(opts Options) (config.Geometric, error) {
+	if len(opts.Initial) > 0 {
+		cfg := fromPoints(opts.Initial)
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+		return cfg, nil
+	}
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("%w: N must be positive (or Initial provided)", ErrBadOptions)
+	}
+	kind := opts.Workload
+	if kind == "" {
+		kind = WorkloadRandom
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg, err := workload.Generate(workload.Kind(kind), opts.N, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	return cfg, nil
+}
+
+func algorithmFor(name AlgorithmName) (sim.Algorithm, error) {
+	switch name {
+	case "", AlgorithmPaper:
+		return sim.PaperAlgorithm{}, nil
+	case AlgorithmGravity:
+		return baseline.Gravity{}, nil
+	case AlgorithmSmallN:
+		return baseline.SmallN{}, nil
+	case AlgorithmTransparent:
+		return baseline.Transparent{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrBadOptions, name)
+	}
+}
+
+func adversaryFor(name AdversaryName, seed int64) (sched.Adversary, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	if name == "" {
+		name = AdversaryRandomAsync
+	}
+	ctor, ok := sched.Registry(seed)[string(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown adversary %q", ErrBadOptions, name)
+	}
+	return ctor(), nil
+}
+
+func toPoints(cfg config.Geometric) []Point {
+	out := make([]Point, len(cfg))
+	for i, c := range cfg {
+		out[i] = Point{X: c.X, Y: c.Y}
+	}
+	return out
+}
+
+func fromPoints(points []Point) config.Geometric {
+	out := make(config.Geometric, len(points))
+	for i, p := range points {
+		out[i] = geom.V(p.X, p.Y)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package fatgather
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickGathering(t *testing.T) {
+	res, err := Run(Options{
+		N:         4,
+		Workload:  WorkloadClustered,
+		Seed:      1,
+		MaxEvents: 120000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Gathered {
+		t.Fatalf("expected gathered result, got %+v", res)
+	}
+	if !res.AllTerminated {
+		t.Fatal("expected every robot to terminate")
+	}
+	if res.Events <= 0 || res.Cycles <= 0 {
+		t.Fatal("expected positive event and cycle counts")
+	}
+	if len(res.Final) != 4 {
+		t.Fatalf("final has %d robots", len(res.Final))
+	}
+	if err := Validate(res.Final); err != nil {
+		t.Fatalf("final configuration invalid: %v", err)
+	}
+	if !IsGathered(res.Final) {
+		t.Fatal("IsGathered should agree with the result")
+	}
+}
+
+func TestRunWithExplicitInitial(t *testing.T) {
+	initial := []Point{{X: 0, Y: 0}, {X: 9, Y: 0}}
+	res, err := Run(Options{Initial: initial, Adversary: AdversaryFair, MaxEvents: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Gathered {
+		t.Fatal("two robots should gather")
+	}
+}
+
+func TestRunBaselineAlgorithm(t *testing.T) {
+	res, err := Run(Options{
+		N:         5,
+		Workload:  WorkloadClustered,
+		Algorithm: AlgorithmGravity,
+		Seed:      2,
+		MaxEvents: 30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != string(AlgorithmGravity) {
+		t.Fatalf("algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestRunOptionErrors(t *testing.T) {
+	if _, err := Run(Options{}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("missing N should fail, got %v", err)
+	}
+	if _, err := Run(Options{N: 3, Workload: "bogus"}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad workload should fail, got %v", err)
+	}
+	if _, err := Run(Options{N: 3, Algorithm: "bogus"}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad algorithm should fail, got %v", err)
+	}
+	if _, err := Run(Options{N: 3, Adversary: "bogus"}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad adversary should fail, got %v", err)
+	}
+	if _, err := Run(Options{Initial: []Point{{0, 0}, {1, 0}}}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("overlapping initial should fail, got %v", err)
+	}
+}
+
+func TestGenerateWorkloadAndRender(t *testing.T) {
+	for _, w := range Workloads() {
+		pts, err := GenerateWorkload(w, 6, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if len(pts) != 6 {
+			t.Fatalf("%s: %d robots", w, len(pts))
+		}
+		if err := Validate(pts); err != nil {
+			t.Fatalf("%s: invalid: %v", w, err)
+		}
+	}
+	pts, _ := GenerateWorkload(WorkloadRing, 5, 1)
+	svg := RenderSVG(pts)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("RenderSVG should produce an SVG document")
+	}
+	art := RenderASCII(pts, 40, 12)
+	if !strings.Contains(art, "o") {
+		t.Fatal("RenderASCII should draw discs")
+	}
+}
+
+func TestEnumerations(t *testing.T) {
+	if len(Workloads()) < 5 || len(Adversaries()) < 4 || len(Algorithms()) != 4 {
+		t.Fatal("unexpected enumeration sizes")
+	}
+}

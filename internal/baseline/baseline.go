@@ -1,0 +1,109 @@
+// Package baseline provides comparison algorithms for the experiments: the
+// naïve centroid (gravity) gatherer, a transparent-fat-robot gatherer that
+// pretends occlusion does not exist, and a specialized small-n gatherer in
+// the spirit of Czyzowicz et al. (which the paper generalizes). None of these
+// is expected to solve gathering for arbitrary n non-transparent fat robots;
+// the benchmarks quantify exactly how and when they fall short.
+package baseline
+
+import (
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/core"
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+// Gravity is the naïve baseline: every robot walks straight toward the
+// centroid of the robots it can see and terminates once it touches another
+// robot while seeing no isolated robots. With opaque fat robots this
+// frequently produces disconnected clumps and robots that shadow each other.
+type Gravity struct{}
+
+// Name implements sim.Algorithm.
+func (Gravity) Name() string { return "baseline-gravity" }
+
+// Decide implements sim.Algorithm.
+func (Gravity) Decide(v core.View) core.Decision {
+	all := v.All()
+	trace := []core.AlgState{core.StateStart}
+	if len(all) == 1 {
+		return core.Decision{Target: v.Self, Terminate: true, Trace: append(trace, core.StateConnected)}
+	}
+	touching := false
+	for _, c := range v.Others {
+		if geom.DiscsTangent(v.Self, c, geom.UnitRadius, config.ContactEps) {
+			touching = true
+			break
+		}
+	}
+	if touching && connectedView(all) {
+		return core.Decision{Target: v.Self, Terminate: true, Trace: append(trace, core.StateConnected)}
+	}
+	center := geom.Centroid(all)
+	if center.Dist(v.Self) <= config.ContactEps {
+		return core.Decision{Target: v.Self, Trace: append(trace, core.StateNotConnected)}
+	}
+	return core.Decision{Target: center, Trace: append(trace, core.StateNotConnected)}
+}
+
+// Transparent is the transparent-fat-robot baseline (Chaudhuri &
+// Mukhopadhyaya): it behaves like Gravity but is meant to be run with a
+// see-through visibility model (vision with zero-radius blockers), i.e. the
+// simulator supplies it with complete views. Under the paper's opaque model
+// its assumptions are violated, which is precisely the comparison of
+// interest.
+type Transparent struct{}
+
+// Name implements sim.Algorithm.
+func (Transparent) Name() string { return "baseline-transparent" }
+
+// Decide implements sim.Algorithm.
+func (Transparent) Decide(v core.View) core.Decision {
+	// Same movement rule as Gravity; the difference is the visibility model
+	// it is paired with in the experiments.
+	d := Gravity{}.Decide(v)
+	return d
+}
+
+// SmallN is a specialized gatherer for n <= 4 robots in the spirit of
+// Czyzowicz, Gąsieniec and Pelc: robots move toward the closest visible robot
+// until they touch, then stay; with at most four robots this almost always
+// forms a connected cluster. For n >= 5 it deadlocks into separate pairs,
+// which is exactly the limitation that motivated the paper.
+type SmallN struct{}
+
+// Name implements sim.Algorithm.
+func (SmallN) Name() string { return "baseline-smalln" }
+
+// Decide implements sim.Algorithm.
+func (SmallN) Decide(v core.View) core.Decision {
+	trace := []core.AlgState{core.StateStart}
+	if len(v.Others) == 0 {
+		return core.Decision{Target: v.Self, Terminate: true, Trace: append(trace, core.StateConnected)}
+	}
+	touchingAny := false
+	for _, c := range v.Others {
+		if geom.DiscsTangent(v.Self, c, geom.UnitRadius, config.ContactEps) {
+			touchingAny = true
+			break
+		}
+	}
+	if touchingAny {
+		if connectedView(v.All()) && v.SeesAll() {
+			return core.Decision{Target: v.Self, Terminate: true, Trace: append(trace, core.StateConnected)}
+		}
+		return core.Decision{Target: v.Self, Trace: append(trace, core.StateNotConnected)}
+	}
+	closest := v.Others[0]
+	for _, c := range v.Others[1:] {
+		if c.Dist(v.Self) < closest.Dist(v.Self) {
+			closest = c
+		}
+	}
+	return core.Decision{Target: closest, Trace: append(trace, core.StateNotConnected)}
+}
+
+// connectedView reports whether the discs at the given centers form a single
+// tangency-connected component.
+func connectedView(centers []geom.Vec) bool {
+	return config.Geometric(centers).Connected()
+}

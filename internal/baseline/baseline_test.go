@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/core"
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+func view(self geom.Vec, others []geom.Vec, n int) core.View {
+	return core.NewView(self, others, n)
+}
+
+func TestGravityMovesTowardCentroid(t *testing.T) {
+	d := Gravity{}.Decide(view(geom.V(0, 0), []geom.Vec{geom.V(10, 0), geom.V(0, 10)}, 3))
+	if d.Terminate {
+		t.Fatal("spread robots should not terminate")
+	}
+	want := geom.Centroid([]geom.Vec{geom.V(0, 0), geom.V(10, 0), geom.V(0, 10)})
+	if !d.Target.EqWithin(want, 1e-9) {
+		t.Fatalf("target %v want %v", d.Target, want)
+	}
+}
+
+func TestGravityTerminatesWhenTouchingAndConnected(t *testing.T) {
+	d := Gravity{}.Decide(view(geom.V(0, 0), []geom.Vec{geom.V(2, 0)}, 2))
+	if !d.Terminate {
+		t.Fatal("touching pair should terminate")
+	}
+	// Touching one robot but the view is disconnected: keep going.
+	d = Gravity{}.Decide(view(geom.V(0, 0), []geom.Vec{geom.V(2, 0), geom.V(30, 0)}, 3))
+	if d.Terminate {
+		t.Fatal("disconnected view should not terminate")
+	}
+}
+
+func TestGravitySingleRobot(t *testing.T) {
+	if !(Gravity{}).Decide(view(geom.V(1, 1), nil, 1)).Terminate {
+		t.Fatal("single robot terminates")
+	}
+}
+
+func TestGravityAtCentroidStays(t *testing.T) {
+	d := Gravity{}.Decide(view(geom.V(5, 5), []geom.Vec{geom.V(0, 0), geom.V(10, 10)}, 3))
+	if !d.Target.EqWithin(geom.V(5, 5), 1e-9) {
+		t.Fatalf("robot already at the centroid should stay, got %v", d.Target)
+	}
+}
+
+func TestTransparentMirrorsGravity(t *testing.T) {
+	v1 := view(geom.V(0, 0), []geom.Vec{geom.V(10, 0), geom.V(0, 10)}, 3)
+	if (Transparent{}).Name() == (Gravity{}).Name() {
+		t.Fatal("names must differ")
+	}
+	g := Gravity{}.Decide(v1)
+	tr := Transparent{}.Decide(v1)
+	if !g.Target.EqWithin(tr.Target, 1e-12) || g.Terminate != tr.Terminate {
+		t.Fatal("transparent baseline should use the same movement rule")
+	}
+}
+
+func TestSmallNMovesTowardClosest(t *testing.T) {
+	d := SmallN{}.Decide(view(geom.V(0, 0), []geom.Vec{geom.V(10, 0), geom.V(4, 1)}, 3))
+	if d.Terminate {
+		t.Fatal("should not terminate while isolated")
+	}
+	if !d.Target.EqWithin(geom.V(4, 1), 1e-9) {
+		t.Fatalf("should head to the closest robot, got %v", d.Target)
+	}
+}
+
+func TestSmallNStopsWhenTouching(t *testing.T) {
+	// Touching one robot but not seeing everyone: wait in place.
+	d := SmallN{}.Decide(view(geom.V(0, 0), []geom.Vec{geom.V(2, 0)}, 3))
+	if d.Terminate {
+		t.Fatal("partial view should not terminate")
+	}
+	if !d.Target.EqWithin(geom.V(0, 0), 1e-9) {
+		t.Fatal("touching robot should stay put")
+	}
+	// Touching and seeing a fully connected configuration: terminate.
+	d = SmallN{}.Decide(view(geom.V(0, 0), []geom.Vec{geom.V(2, 0), geom.V(4, 0)}, 3))
+	if !d.Terminate {
+		t.Fatal("connected full view should terminate")
+	}
+	// Alone: terminate trivially.
+	if !(SmallN{}).Decide(view(geom.V(0, 0), nil, 1)).Terminate {
+		t.Fatal("single robot terminates")
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	names := map[string]bool{
+		Gravity{}.Name():     true,
+		Transparent{}.Name(): true,
+		SmallN{}.Name():      true,
+	}
+	if len(names) != 3 {
+		t.Fatal("baseline names must be distinct")
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+// viewOfAll builds a View for the robot at index i assuming it sees every
+// robot in the configuration (full visibility).
+func viewOfAll(all []geom.Vec, i int) View {
+	others := make([]geom.Vec, 0, len(all)-1)
+	for j, c := range all {
+		if j != i {
+			others = append(others, c)
+		}
+	}
+	return NewView(all[i], others, len(all))
+}
+
+// tangentRing returns n unit discs tangent to their neighbours along a ring,
+// i.e. centers on a circle of circumradius 1/sin(pi/n) (consecutive center
+// distance exactly 2).
+func tangentRing(n int) []geom.Vec {
+	r := 1 / math.Sin(math.Pi/float64(n))
+	return ringPositions(n, r)
+}
+
+func TestAlgStateStrings(t *testing.T) {
+	for _, s := range AllAlgStates() {
+		if s.String() == "" || !s.Valid() {
+			t.Fatalf("state %d invalid", int(s))
+		}
+	}
+	if AlgState(99).Valid() {
+		t.Fatal("99 should be invalid")
+	}
+	if AlgState(99).String() == "" {
+		t.Fatal("unknown state should still stringify")
+	}
+	if len(AllAlgStates()) != NumAlgStates {
+		t.Fatalf("expected %d states", NumAlgStates)
+	}
+	if !StateConnected.Terminal() || StateStart.Terminal() || StateOnConvexHull.Terminal() {
+		t.Fatal("Terminal misclassifies states")
+	}
+}
+
+func TestDecideSingleRobotTerminates(t *testing.T) {
+	d := Decide(NewView(v(0, 0), nil, 1))
+	if !d.Terminate {
+		t.Fatalf("single robot should terminate, got %+v", d)
+	}
+	if d.Final() != StateConnected {
+		t.Fatalf("final state = %v", d.Final())
+	}
+}
+
+func TestDecideTwoRobotsApart(t *testing.T) {
+	all := []geom.Vec{v(0, 0), v(10, 0)}
+	d := Decide(viewOfAll(all, 0))
+	if d.Terminate {
+		t.Fatal("distant robots should not terminate")
+	}
+	if d.Stays(all[0]) {
+		t.Fatal("robot should move toward the other")
+	}
+	// The target should be in the direction of the other robot.
+	if d.Target.X <= 0 {
+		t.Fatalf("target %v should be toward the other robot", d.Target)
+	}
+}
+
+func TestDecideTwoRobotsTangentTerminate(t *testing.T) {
+	all := []geom.Vec{v(0, 0), v(2, 0)}
+	for i := range all {
+		d := Decide(viewOfAll(all, i))
+		if !d.Terminate {
+			t.Fatalf("robot %d should terminate in a tangent pair, got %+v", i, d)
+		}
+	}
+}
+
+func TestDecideConnectedRingTerminates(t *testing.T) {
+	// A tangent ring is connected, all robots are hull corners, and with full
+	// visibility every robot should terminate.
+	all := tangentRing(6)
+	for i := range all {
+		d := Decide(viewOfAll(all, i))
+		if !d.Terminate {
+			t.Fatalf("robot %d in tangent ring should terminate; final=%v", i, d.Final())
+		}
+	}
+}
+
+func TestDecideSpreadRingConverges(t *testing.T) {
+	// Robots spread on a big ring: fully visible, all on hull, not connected.
+	// Nobody terminates, and nobody may move outward (the hull must not
+	// grow: Lemma 21).
+	all := ringPositions(6, 20)
+	hullArea := geom.PolygonArea(geom.ConvexHull(all))
+	for i := range all {
+		d := Decide(viewOfAll(all, i))
+		if d.Terminate {
+			t.Fatalf("robot %d should not terminate", i)
+		}
+		if d.Final() != StateNotConnected {
+			t.Fatalf("robot %d final state = %v want NotConnected", i, d.Final())
+		}
+		if !d.Stays(all[i]) {
+			moved := append([]geom.Vec(nil), all...)
+			moved[i] = d.Target
+			newArea := geom.PolygonArea(geom.ConvexHull(moved))
+			if newArea > hullArea+1e-6 {
+				t.Fatalf("robot %d move grows the hull: %v -> %v", i, hullArea, newArea)
+			}
+		}
+	}
+}
+
+func TestDecideInteriorRobotMovesTowardHull(t *testing.T) {
+	// A robot strictly inside a large square hull, not touching anyone, with
+	// plenty of space on the hull: it should head for the hull (NotChange).
+	all := []geom.Vec{v(0, 0), v(20, 0), v(20, 20), v(0, 20), v(10, 9)}
+	i := 4
+	d := Decide(viewOfAll(all, i))
+	if d.Terminate {
+		t.Fatal("interior robot should not terminate")
+	}
+	if d.Final() != StateNotChange && d.Final() != StateToChange {
+		t.Fatalf("final state = %v", d.Final())
+	}
+	if d.Stays(all[i]) {
+		t.Fatal("interior robot with available space should move")
+	}
+	// Its target should be farther from the centroid than its current
+	// position (heading outward toward the hull boundary).
+	centroid := geom.Centroid(all[:4])
+	if d.Target.Dist(centroid) <= all[i].Dist(centroid) {
+		t.Fatalf("target %v should move toward the hull boundary", d.Target)
+	}
+}
+
+func TestDecideHullRobotWithInteriorRobotsNoSpace(t *testing.T) {
+	// A tight triangle hull with an interior robot and no room on the hull:
+	// hull robots must step outward (NoSpaceForMore) to expand the hull.
+	// (Equilateral side 3.8: the centroid is ~2.19 from every corner, so the
+	// interior disc fits without overlap, but no side has room for it.)
+	all := []geom.Vec{v(0, 0), v(3.8, 0), v(1.9, 3.29), v(1.9, 1.1)}
+	hullArea := geom.PolygonArea(geom.ConvexHull(all[:3]))
+	for i := 0; i < 3; i++ {
+		d := Decide(viewOfAll(all, i))
+		if d.Terminate {
+			t.Fatalf("robot %d should not terminate", i)
+		}
+		if d.Final() != StateNoSpaceForMore {
+			t.Fatalf("robot %d final = %v want NoSpaceForMore", i, d.Final())
+		}
+		moved := append([]geom.Vec(nil), all[:3]...)
+		moved[i] = d.Target
+		if geom.PolygonArea(geom.ConvexHull(moved)) < hullArea-1e-9 {
+			t.Fatalf("robot %d outward move should not shrink the hull", i)
+		}
+	}
+}
+
+func TestDecideMiddleOfLineMovesOut(t *testing.T) {
+	// Three robots on a line: the middle one is blocked between the other
+	// two; it should step off the line (SeeTwoRobot). The end robots stay
+	// (SeeOneRobot) because they cannot even see the far robot.
+	all := []geom.Vec{v(0, 0), v(6, 0), v(12, 0)}
+	// Middle robot sees both ends.
+	dMid := Decide(viewOfAll(all, 1))
+	if dMid.Final() != StateSeeTwoRobot {
+		t.Fatalf("middle final = %v want SeeTwoRobot", dMid.Final())
+	}
+	if dMid.Stays(all[1]) {
+		t.Fatal("middle robot should move off the line")
+	}
+	if math.Abs(dMid.Target.Y) <= 1e-12 {
+		t.Fatalf("middle robot should leave the line, target %v", dMid.Target)
+	}
+	// End robot sees only the middle one (view of 2 robots out of 3). With
+	// only two visible robots there is no hull triple, so depending on the
+	// branch taken (SeeOneRobot in the paper's narrative, SpaceForMore by the
+	// letter of the procedures) the robot must in any case stay put.
+	dEnd := Decide(NewView(v(0, 0), []geom.Vec{v(6, 0)}, 3))
+	if !dEnd.Stays(v(0, 0)) {
+		t.Fatalf("end robot should stay, got %+v", dEnd)
+	}
+}
+
+func TestDecideTouchingInteriorRobotContention(t *testing.T) {
+	// Two interior robots touching each other inside a large hull with space:
+	// exactly one of them (the one with higher proximity) should move.
+	all := []geom.Vec{v(0, 0), v(30, 0), v(30, 30), v(0, 30), v(14, 10), v(16, 10)}
+	d4 := Decide(viewOfAll(all, 4))
+	d5 := Decide(viewOfAll(all, 5))
+	if d4.Final() != StateIsTouching || d5.Final() != StateIsTouching {
+		t.Fatalf("finals = %v %v want IsTouching", d4.Final(), d5.Final())
+	}
+	moves := 0
+	if !d4.Stays(all[4]) {
+		moves++
+	}
+	if !d5.Stays(all[5]) {
+		moves++
+	}
+	if moves != 1 {
+		t.Fatalf("exactly one of the touching robots should move, got %d", moves)
+	}
+}
+
+func TestDecideStaysAreFinite(t *testing.T) {
+	// Whatever the configuration, Decide must return a finite target.
+	configs := [][]geom.Vec{
+		{v(0, 0), v(2, 0), v(4, 0), v(6, 0)},
+		{v(0, 0), v(5, 0), v(10, 0), v(15, 0)},
+		{v(0, 0), v(2, 0), v(1, 1.8)},
+		ringPositions(9, 12),
+		tangentRing(8),
+	}
+	for ci, cfg := range configs {
+		for i := range cfg {
+			d := Decide(viewOfAll(cfg, i))
+			if !d.Target.IsFinite() {
+				t.Fatalf("config %d robot %d: non-finite target", ci, i)
+			}
+			if len(d.Trace) == 0 || d.Trace[0] != StateStart {
+				t.Fatalf("config %d robot %d: trace must start at Start", ci, i)
+			}
+			for _, s := range d.Trace {
+				if !s.Valid() {
+					t.Fatalf("config %d robot %d: invalid state in trace", ci, i)
+				}
+			}
+			if !d.Final().Terminal() {
+				t.Fatalf("config %d robot %d: final state %v is not terminal", ci, i, d.Final())
+			}
+		}
+	}
+}
+
+func TestDecideTargetNeverOverlapsImmediately(t *testing.T) {
+	// The decision target itself may be unreachable (motion stops at
+	// tangency), but a decision for a robot that is staying must coincide
+	// with its position, and a moving decision must not be NaN.
+	all := ringPositions(7, 15)
+	for i := range all {
+		d := Decide(viewOfAll(all, i))
+		if d.Terminate {
+			t.Fatal("spread ring should not terminate")
+		}
+		if !d.Target.IsFinite() {
+			t.Fatal("target must be finite")
+		}
+	}
+}
+
+func TestDecisionHelpers(t *testing.T) {
+	d := Decision{Target: v(1, 1), Trace: []AlgState{StateStart, StateNotOnConvexHull, StateNotTouching, StateNotChange}}
+	if d.Final() != StateNotChange {
+		t.Fatalf("final = %v", d.Final())
+	}
+	if d.Stays(v(2, 2)) {
+		t.Fatal("different target should not be a stay")
+	}
+	if !d.Stays(v(1, 1)) {
+		t.Fatal("same target should be a stay")
+	}
+	var empty Decision
+	if empty.Final() != StateStart {
+		t.Fatal("empty decision final should be Start")
+	}
+}
+
+func TestRightmostTowardDeterminism(t *testing.T) {
+	cands := []geom.Vec{v(0, 0), v(2, 0), v(1, 1.7)}
+	target := v(1, 10)
+	first := rightmostToward(cands, target)
+	for i := 0; i < 5; i++ {
+		if !rightmostToward(cands, target).Eq(first) {
+			t.Fatal("rightmostToward should be deterministic")
+		}
+	}
+	// Permuting the candidates must not change the winner.
+	perm := []geom.Vec{cands[2], cands[0], cands[1]}
+	if !rightmostToward(perm, target).Eq(first) {
+		t.Fatal("rightmostToward should be order independent")
+	}
+}

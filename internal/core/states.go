@@ -1,0 +1,100 @@
+package core
+
+import "fmt"
+
+// AlgState is one of the 17 algorithmic states of the local Compute algorithm
+// (Section 4.1, Figure 4 of the paper). These are sub-states of the robot's
+// Compute state, not to be confused with the five robot states of the outer
+// state machine.
+type AlgState int
+
+// The 17 algorithmic states, in the order the paper lists them.
+const (
+	StateStart AlgState = iota + 1
+	StateOnConvexHull
+	StateAllOnConvexHull
+	StateConnected
+	StateNotConnected
+	StateNotAllOnConvexHull
+	StateNotOnStraightLine
+	StateSpaceForMore
+	StateNoSpaceForMore
+	StateOnStraightLine
+	StateSeeOneRobot
+	StateSeeTwoRobot
+	StateNotOnConvexHull
+	StateIsTouching
+	StateNotTouching
+	StateToChange
+	StateNotChange
+)
+
+// NumAlgStates is the number of algorithmic states.
+const NumAlgStates = 17
+
+// String implements fmt.Stringer.
+func (s AlgState) String() string {
+	switch s {
+	case StateStart:
+		return "Start"
+	case StateOnConvexHull:
+		return "OnConvexHull"
+	case StateAllOnConvexHull:
+		return "AllOnConvexHull"
+	case StateConnected:
+		return "Connected"
+	case StateNotConnected:
+		return "NotConnected"
+	case StateNotAllOnConvexHull:
+		return "NotAllOnConvexHull"
+	case StateNotOnStraightLine:
+		return "NotOnStraightLine"
+	case StateSpaceForMore:
+		return "SpaceForMore"
+	case StateNoSpaceForMore:
+		return "NoSpaceForMore"
+	case StateOnStraightLine:
+		return "OnStraightLine"
+	case StateSeeOneRobot:
+		return "SeeOneRobot"
+	case StateSeeTwoRobot:
+		return "SeeTwoRobot"
+	case StateNotOnConvexHull:
+		return "NotOnConvexHull"
+	case StateIsTouching:
+		return "IsTouching"
+	case StateNotTouching:
+		return "NotTouching"
+	case StateToChange:
+		return "ToChange"
+	case StateNotChange:
+		return "NotChange"
+	default:
+		return fmt.Sprintf("AlgState(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is one of the defined algorithmic states.
+func (s AlgState) Valid() bool { return s >= StateStart && s <= StateNotChange }
+
+// Terminal reports whether s is a terminal algorithmic state, i.e. one that
+// produces an output (a target point or ⊥) rather than transitioning to
+// another algorithmic state.
+func (s AlgState) Terminal() bool {
+	switch s {
+	case StateConnected, StateNotConnected, StateSpaceForMore, StateNoSpaceForMore,
+		StateSeeOneRobot, StateSeeTwoRobot, StateIsTouching, StateToChange, StateNotChange:
+		return true
+	default:
+		return false
+	}
+}
+
+// AllAlgStates returns all 17 algorithmic states in declaration order.
+func AllAlgStates() []AlgState {
+	out := make([]AlgState, 0, NumAlgStates)
+	for s := StateStart; s <= StateNotChange; s++ {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/vision"
+)
+
+// visionModel is the visibility predicate the local algorithm uses to reason
+// about occlusion within a view. It matches the model used by the Look state
+// in the simulator (conservative sight lines over opaque unit discs).
+var visionModel = vision.Default
+
+// viewFullyVisible reports whether, treating the robots in the view as the
+// only robots in the plane, every robot can see every other robot. This is
+// the operative form of the paper's "all robots have full visibility
+// according to Vi" check in Procedure OnConvexHull.
+func (d *decider) viewFullyVisible() bool {
+	all := d.hull.all
+	return visionModel.FullyVisible(all)
+}
+
+// selfBlocksPair reports whether the observing robot occludes some pair of
+// robots in its view: the pair cannot see each other with the observer
+// present, but could if the observer were removed. It returns one such pair
+// (preferring the pair whose chord the observer is closest to).
+func (d *decider) selfBlocksPair() (a, b geom.Vec, blocks bool) {
+	all := d.hull.all
+	self := d.view.Self
+	if len(all) < 3 {
+		return geom.Vec{}, geom.Vec{}, false
+	}
+	bestDist := -1.0
+	for i := 0; i < len(all); i++ {
+		if all[i].EqWithin(self, geom.Eps) {
+			continue
+		}
+		for j := i + 1; j < len(all); j++ {
+			if all[j].EqWithin(self, geom.Eps) {
+				continue
+			}
+			withSelf := obstaclesFor(all, all[i], all[j], geom.Vec{}, false)
+			if visionModel.VisiblePair(all[i], all[j], withSelf) {
+				continue
+			}
+			withoutSelf := obstaclesFor(all, all[i], all[j], self, true)
+			if !visionModel.VisiblePair(all[i], all[j], withoutSelf) {
+				continue // blocked by someone else too; not this robot's job
+			}
+			dist := geom.DistancePointSegment(self, all[i], all[j])
+			if !blocks || dist < bestDist {
+				a, b, blocks = all[i], all[j], true
+				bestDist = dist
+			}
+		}
+	}
+	return a, b, blocks
+}
+
+// obstaclesFor returns the view points other than p and q, optionally also
+// excluding the point `skip` (when exclude is true).
+func obstaclesFor(all []geom.Vec, p, q, skip geom.Vec, exclude bool) []geom.Vec {
+	out := make([]geom.Vec, 0, len(all))
+	for _, c := range all {
+		if c.EqWithin(p, geom.Eps) || c.EqWithin(q, geom.Eps) {
+			continue
+		}
+		if exclude && c.EqWithin(skip, geom.Eps) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

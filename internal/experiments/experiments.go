@@ -1,0 +1,524 @@
+// Package experiments contains the drivers that regenerate the evaluation
+// artifacts described in DESIGN.md and EXPERIMENTS.md (E1..E12). Each driver
+// returns a Table that cmd/gatherbench prints and that bench_test.go executes
+// as a benchmark, so the numbers in EXPERIMENTS.md can be reproduced with
+// either tool.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/fatgather/fatgather/internal/baseline"
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/core"
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/metrics"
+	"github.com/fatgather/fatgather/internal/sched"
+	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/vision"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table as aligned plain text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// Config bundles the knobs shared by the experiment drivers.
+type Config struct {
+	Seeds     int // number of seeds per cell (default 5)
+	MaxEvents int // event budget per run (default 150000)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 5
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 150000
+	}
+	return c
+}
+
+// runOnce runs the paper's algorithm on one workload instance.
+func runOnce(cfg config.Geometric, adv sched.Adversary, maxEvents int, alg sim.Algorithm) sim.Result {
+	res, err := sim.Run(cfg, sim.Options{
+		Algorithm:     alg,
+		Adversary:     adv,
+		MaxEvents:     maxEvents,
+		SnapshotEvery: 50,
+	})
+	if err != nil {
+		return sim.Result{Err: err}
+	}
+	return res
+}
+
+func fmtF(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func fmtF2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// E1StateCycle exercises the robot state machine of Figure 1: a tangent pair
+// of robots runs Look-Compute and terminates; the table reports the event
+// counts per state-machine transition kind.
+func E1StateCycle(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	res := runOnce(workload.TangentRing(2), sched.NewFair(), cfg.MaxEvents, nil)
+	return Table{
+		ID:      "E1",
+		Title:   "Figure 1 — robot state-machine cycle (tangent pair, fair adversary)",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"outcome", res.Outcome.String()},
+			{"events", fmt.Sprintf("%d", res.Events)},
+			{"cycles", fmt.Sprintf("%d", res.Cycles)},
+			{"terminated", fmt.Sprintf("%d/%d", res.TerminatedCount, res.N)},
+			{"arrivals", fmt.Sprintf("%d", res.Arrivals)},
+			{"collisions", fmt.Sprintf("%d", res.Collisions)},
+		},
+	}
+}
+
+// E2MoveToPoint reproduces the Figure 2 construction across m and distances:
+// the offset of µ from the center line must equal 1/(2m)−ε and the tangency
+// stop point must be at distance 2 from the target robot.
+func E2MoveToPoint(cfg Config) Table {
+	t := Table{
+		ID:      "E2",
+		Title:   "Figure 2 — Move-to-Point construction",
+		Columns: []string{"m", "dist(c1,c2)", "offset(µ)", "1/(2m)-eps", "stop dist to c2"},
+	}
+	for _, m := range []int{2, 4, 8, 16, 32, 64} {
+		for _, dist := range []float64{4, 10, 25} {
+			c1 := geom.V(0, 0)
+			c2 := geom.V(dist, 0)
+			interior := geom.V(dist/2, 5)
+			mu := core.MoveToPoint(c1, c2, m, interior)
+			stop := core.TangencyTarget(c1, c2, mu)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", m),
+				fmtF(dist),
+				fmt.Sprintf("%.4f", mu.Y),
+				fmt.Sprintf("%.4f", 1/(2*float64(m))-core.Epsilon(m)),
+				fmt.Sprintf("%.4f", stop.Dist(c2)),
+			})
+		}
+	}
+	return t
+}
+
+// E3FindPoints reproduces Figures 3 and 5: Find-Points candidate counts on
+// hulls with and without space, and the straight-line rectangle test.
+func E3FindPoints(cfg Config) Table {
+	t := Table{
+		ID:      "E3",
+		Title:   "Figures 3 & 5 — Find-Points candidates and straight-line rectangle",
+		Columns: []string{"case", "result"},
+	}
+	bigSquare := config.Geometric{geom.V(0, 0), geom.V(10, 0), geom.V(10, 10), geom.V(0, 10)}
+	tight := config.Geometric{geom.V(0, 0), geom.V(3.8, 0), geom.V(1.9, 3.29)}
+	t.Rows = append(t.Rows,
+		[]string{"find-points big square (n=4)", fmt.Sprintf("%d candidates", len(core.FindPoints(bigSquare, 4)))},
+		[]string{"find-points tight triangle (n=3)", fmt.Sprintf("%d candidates", len(core.FindPoints(tight, 3)))},
+		[]string{"rect test, sag=0.05 < 1/10", fmt.Sprintf("%v", core.InStraightLineRect(geom.V(0, 0), geom.V(5, 0.05), geom.V(10, 0), 10))},
+		[]string{"rect test, sag=0.50 > 1/10", fmt.Sprintf("%v", core.InStraightLineRect(geom.V(0, 0), geom.V(5, 0.5), geom.V(10, 0), 10))},
+	)
+	return t
+}
+
+// E4StateCoverage verifies all 17 algorithmic states of Figure 4 are
+// reachable, by running the algorithm over a battery of workloads and
+// counting terminal-state visits (non-terminal states are visited on the way
+// and recorded through decision traces).
+func E4StateCoverage(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	visited := make(map[core.AlgState]int)
+	record := func(d core.Decision) {
+		for _, s := range d.Trace {
+			visited[s]++
+		}
+	}
+	// Curated views driving specific branches.
+	views := []core.View{
+		core.NewView(geom.V(0, 0), nil, 1),                                                                     // Connected (single robot)
+		core.NewView(geom.V(0, 0), []geom.Vec{geom.V(2, 0)}, 2),                                                // Connected pair
+		core.NewView(geom.V(0, 0), []geom.Vec{geom.V(10, 0)}, 2),                                               // NotConnected
+		core.NewView(geom.V(6, 0), []geom.Vec{geom.V(0, 0), geom.V(12, 0)}, 3),                                 // SeeTwoRobot
+		core.NewView(geom.V(0, 0), []geom.Vec{geom.V(6, 0)}, 3),                                                // partial view
+		core.NewView(geom.V(10, 9), []geom.Vec{geom.V(0, 0), geom.V(20, 0), geom.V(20, 20), geom.V(0, 20)}, 5), // NotChange
+		core.NewView(geom.V(1.9, 1.1), []geom.Vec{geom.V(0, 0), geom.V(3.8, 0), geom.V(1.9, 3.29)}, 4),         // IsTouching/NoSpace
+		core.NewView(geom.V(0, 0), []geom.Vec{geom.V(3.8, 0), geom.V(1.9, 3.29), geom.V(1.9, 1.1)}, 4),         // NoSpaceForMore
+	}
+	for _, v := range views {
+		record(core.Decide(v))
+	}
+	// Add simulation-driven coverage.
+	for _, kind := range []workload.Kind{workload.KindRandom, workload.KindCollinear, workload.KindClustered} {
+		w, err := workload.Generate(kind, 6, 11)
+		if err != nil {
+			continue
+		}
+		res := runOnce(w, sched.NewRandomAsync(7), cfg.MaxEvents/10, nil)
+		for s, c := range res.StateVisits {
+			visited[s] += c
+		}
+	}
+	t := Table{
+		ID:      "E4",
+		Title:   "Figure 4 — algorithmic state coverage",
+		Columns: []string{"state", "visits"},
+	}
+	covered := 0
+	for _, s := range core.AllAlgStates() {
+		if visited[s] > 0 {
+			covered++
+		}
+		t.Rows = append(t.Rows, []string{s.String(), fmt.Sprintf("%d", visited[s])})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d/%d states reached", covered, core.NumAlgStates))
+	return t
+}
+
+// E5GatheringVsN measures success rate and cost of the paper's algorithm as n
+// grows (Theorem 26 exercised empirically).
+func E5GatheringVsN(cfg Config, ns []int) Table {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{2, 3, 4, 5, 8, 12, 16}
+	}
+	t := Table{
+		ID:      "E5",
+		Title:   "Theorem 26 — gathering success and cost vs n (random + clustered workloads)",
+		Columns: []string{"n", "runs", "gathered", "all-terminated", "median events", "median cycles", "median distance"},
+	}
+	for _, n := range ns {
+		var gathered, terminated []bool
+		var events, cycles []int
+		var dist []float64
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			for _, kind := range []workload.Kind{workload.KindClustered, workload.KindNestedHulls} {
+				w, err := workload.Generate(kind, n, int64(seed+1))
+				if err != nil {
+					continue
+				}
+				res := runOnce(w, sched.NewRandomAsync(int64(100+seed)), cfg.MaxEvents, nil)
+				gathered = append(gathered, res.Gathered())
+				terminated = append(terminated, res.Outcome == sim.OutcomeAllTerminated)
+				events = append(events, res.Events)
+				cycles = append(cycles, res.Cycles)
+				dist = append(dist, res.TotalDistance)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", len(gathered)),
+			fmtF2(metrics.SuccessRate(gathered)),
+			fmtF2(metrics.SuccessRate(terminated)),
+			fmtF(metrics.SummarizeInts(events).Median),
+			fmtF(metrics.SummarizeInts(cycles).Median),
+			fmtF(metrics.Summarize(dist).Median),
+		})
+	}
+	return t
+}
+
+// E6PhaseOne measures the time to reach the phase-1 target (all robots on the
+// hull and fully visible) per workload shape (Lemma 22).
+func E6PhaseOne(cfg Config, n int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E6",
+		Title:   fmt.Sprintf("Lemma 22 — events until all-on-hull & fully visible (n=%d)", n),
+		Columns: []string{"workload", "runs", "reached", "median events to safe config"},
+	}
+	for _, kind := range workload.Kinds() {
+		var reached []bool
+		var when []int
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			w, err := workload.Generate(kind, n, int64(seed+1))
+			if err != nil {
+				continue
+			}
+			res := runOnce(w, sched.NewRandomAsync(int64(200+seed)), cfg.MaxEvents, nil)
+			ok := res.Milestones.SafeConfig >= 0
+			reached = append(reached, ok)
+			if ok {
+				when = append(when, res.Milestones.SafeConfig)
+			}
+		}
+		medianStr := "-"
+		if len(when) > 0 {
+			medianStr = fmtF(metrics.SummarizeInts(when).Median)
+		}
+		t.Rows = append(t.Rows, []string{
+			string(kind), fmt.Sprintf("%d", len(reached)),
+			fmtF2(metrics.SuccessRate(reached)), medianStr,
+		})
+	}
+	return t
+}
+
+// E7PhaseTwo measures the time from a safe (phase-2) configuration to a
+// connected configuration (Lemma 23), starting from spread rings.
+func E7PhaseTwo(cfg Config, ns []int) Table {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{3, 5, 8, 12}
+	}
+	t := Table{
+		ID:      "E7",
+		Title:   "Lemma 23 — events from safe configuration to connected (ring starts)",
+		Columns: []string{"n", "runs", "connected", "median events to connected"},
+	}
+	for _, n := range ns {
+		var ok []bool
+		var when []int
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			w := workload.Ring(n, 6+2*float64(n))
+			res := runOnce(w, sched.NewRandomAsync(int64(300+seed)), cfg.MaxEvents, nil)
+			good := res.Milestones.Connected >= 0
+			ok = append(ok, good)
+			if good {
+				when = append(when, res.Milestones.Connected)
+			}
+		}
+		medianStr := "-"
+		if len(when) > 0 {
+			medianStr = fmtF(metrics.SummarizeInts(when).Median)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), fmt.Sprintf("%d", len(ok)),
+			fmtF2(metrics.SuccessRate(ok)), medianStr,
+		})
+	}
+	return t
+}
+
+// E8HullMonotonicity checks the hull-area series of runs against the paper's
+// monotonicity lemmas: the hull never shrinks while robots remain inside it
+// (Lemma 20) and never grows once the safe configuration is reached and
+// convergence begins (Lemma 21) — measured as bounded drawdown/rise.
+func E8HullMonotonicity(cfg Config, n int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E8",
+		Title:   fmt.Sprintf("Lemmas 20-21 — hull area evolution (n=%d)", n),
+		Columns: []string{"workload", "initial area", "peak area", "final area", "max shrink before peak", "max growth after peak"},
+	}
+	for _, kind := range []workload.Kind{workload.KindRandom, workload.KindClustered, workload.KindNestedHulls} {
+		w, err := workload.Generate(kind, n, 7)
+		if err != nil {
+			continue
+		}
+		res := runOnce(w, sched.NewRandomAsync(303), cfg.MaxEvents, nil)
+		series := res.HullAreaSeries
+		if len(series) == 0 {
+			continue
+		}
+		peakIdx := 0
+		for i, a := range series {
+			if a > series[peakIdx] {
+				peakIdx = i
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			string(kind),
+			fmtF2(series[0]),
+			fmtF2(series[peakIdx]),
+			fmtF2(series[len(series)-1]),
+			fmtF2(metrics.MaxDrawdown(series[:peakIdx+1])),
+			fmtF2(metrics.MaxRise(series[peakIdx:])),
+		})
+	}
+	return t
+}
+
+// E9Adversaries compares the cost of gathering under the adversary
+// strategies (Lemma 25: bad configurations only delay, never prevent).
+func E9Adversaries(cfg Config, n int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E9",
+		Title:   fmt.Sprintf("Lemma 25 — adversary strategies (n=%d, clustered workload)", n),
+		Columns: []string{"adversary", "runs", "gathered", "median events", "median stops", "median collisions"},
+	}
+	for _, name := range sched.Names() {
+		var gathered []bool
+		var events, stops, collisions []int
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			w, err := workload.Generate(workload.KindClustered, n, int64(seed+1))
+			if err != nil {
+				continue
+			}
+			adv := sched.Registry(int64(400 + seed))[name]()
+			res := runOnce(w, adv, cfg.MaxEvents, nil)
+			gathered = append(gathered, res.Gathered())
+			events = append(events, res.Events)
+			stops = append(stops, res.Stops)
+			collisions = append(collisions, res.Collisions)
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", len(gathered)),
+			fmtF2(metrics.SuccessRate(gathered)),
+			fmtF(metrics.SummarizeInts(events).Median),
+			fmtF(metrics.SummarizeInts(stops).Median),
+			fmtF(metrics.SummarizeInts(collisions).Median),
+		})
+	}
+	return t
+}
+
+// E10Baselines compares the paper's algorithm against the baselines on the
+// same workloads and adversary.
+func E10Baselines(cfg Config, ns []int) Table {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{3, 4, 5, 8}
+	}
+	algs := []sim.Algorithm{sim.PaperAlgorithm{}, baseline.Gravity{}, baseline.SmallN{}, baseline.Transparent{}}
+	t := Table{
+		ID:      "E10",
+		Title:   "Baselines — connected / gathered rates per algorithm and n (clustered workloads)",
+		Columns: []string{"algorithm", "n", "runs", "connected", "gathered (conn+fully visible)"},
+	}
+	for _, alg := range algs {
+		for _, n := range ns {
+			var connected, gathered []bool
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				w, err := workload.Generate(workload.KindClustered, n, int64(seed+1))
+				if err != nil {
+					continue
+				}
+				res := runOnce(w, sched.NewRandomAsync(int64(500+seed)), cfg.MaxEvents/2, alg)
+				connected = append(connected, res.ConnectedAtEnd)
+				gathered = append(gathered, res.Gathered())
+			}
+			t.Rows = append(t.Rows, []string{
+				alg.Name(), fmt.Sprintf("%d", n), fmt.Sprintf("%d", len(connected)),
+				fmtF2(metrics.SuccessRate(connected)), fmtF2(metrics.SuccessRate(gathered)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes, "the paper's algorithm is the only one expected to keep full visibility while connecting for n >= 5")
+	return t
+}
+
+// E11Delta measures sensitivity to the liveness minimum-progress delta.
+func E11Delta(cfg Config, n int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E11",
+		Title:   fmt.Sprintf("Liveness condition — sensitivity to delta (n=%d, clustered workload)", n),
+		Columns: []string{"delta", "runs", "gathered", "median events"},
+	}
+	for _, delta := range []float64{0.01, 0.05, 0.1, 0.5, 1.0} {
+		var gathered []bool
+		var events []int
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			w, err := workload.Generate(workload.KindClustered, n, int64(seed+1))
+			if err != nil {
+				continue
+			}
+			res, err := sim.Run(w, sim.Options{
+				Adversary: sched.NewStopHappy(int64(600 + seed)),
+				Delta:     delta,
+				MaxEvents: cfg.MaxEvents,
+			})
+			if err != nil {
+				continue
+			}
+			gathered = append(gathered, res.Gathered())
+			events = append(events, res.Events)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", delta), fmt.Sprintf("%d", len(gathered)),
+			fmtF2(metrics.SuccessRate(gathered)),
+			fmtF(metrics.SummarizeInts(events).Median),
+		})
+	}
+	return t
+}
+
+// E12Primitives reports the scaling of the geometric primitives with n
+// (supporting the claim that each Compute step is cheap).
+func E12Primitives(cfg Config) Table {
+	t := Table{
+		ID:      "E12",
+		Title:   "Geometry primitives — work per call vs n",
+		Columns: []string{"n", "hull points", "components", "fully visible pairs checked"},
+	}
+	for _, n := range []int{8, 16, 32, 64, 128, 256} {
+		pts := workload.Ring(n, 4*float64(n))
+		hull := geom.ConvexHullWithCollinear(pts)
+		comps := core.ConnectedComponents(pts, n)
+		m := vision.Default
+		pairs := 0
+		for i := 0; i < len(pts) && i < 16; i++ { // sample to keep the driver fast
+			for j := i + 1; j < len(pts) && j < 16; j++ {
+				if m.Visible(pts, i, j) {
+					pairs++
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", len(hull)),
+			fmt.Sprintf("%d", len(comps)),
+			fmt.Sprintf("%d", pairs),
+		})
+	}
+	return t
+}
+
+// All runs every experiment with the given configuration, in order.
+func All(cfg Config) []Table {
+	return []Table{
+		E1StateCycle(cfg),
+		E2MoveToPoint(cfg),
+		E3FindPoints(cfg),
+		E4StateCoverage(cfg),
+		E5GatheringVsN(cfg, nil),
+		E6PhaseOne(cfg, 6),
+		E7PhaseTwo(cfg, nil),
+		E8HullMonotonicity(cfg, 6),
+		E9Adversaries(cfg, 6),
+		E10Baselines(cfg, nil),
+		E11Delta(cfg, 6),
+		E12Primitives(cfg),
+	}
+}

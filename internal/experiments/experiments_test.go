@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps the experiment drivers fast enough for unit tests.
+var quickCfg = Config{Seeds: 1, MaxEvents: 20000}
+
+func checkTable(t *testing.T, tbl Table, wantID string) {
+	t.Helper()
+	if tbl.ID != wantID {
+		t.Fatalf("table id = %q want %q", tbl.ID, wantID)
+	}
+	if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+		t.Fatalf("%s: empty table", wantID)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("%s row %d: %d cells for %d columns", wantID, i, len(row), len(tbl.Columns))
+		}
+	}
+	s := tbl.String()
+	if !strings.Contains(s, wantID) || !strings.Contains(s, tbl.Columns[0]) {
+		t.Fatalf("%s: String() missing header", wantID)
+	}
+}
+
+func TestE1(t *testing.T)  { checkTable(t, E1StateCycle(quickCfg), "E1") }
+func TestE2(t *testing.T)  { checkTable(t, E2MoveToPoint(quickCfg), "E2") }
+func TestE3(t *testing.T)  { checkTable(t, E3FindPoints(quickCfg), "E3") }
+func TestE12(t *testing.T) { checkTable(t, E12Primitives(quickCfg), "E12") }
+
+func TestE4StateCoverage(t *testing.T) {
+	tbl := E4StateCoverage(quickCfg)
+	checkTable(t, tbl, "E4")
+	if len(tbl.Rows) != 17 {
+		t.Fatalf("expected 17 state rows, got %d", len(tbl.Rows))
+	}
+	if len(tbl.Notes) == 0 {
+		t.Fatal("coverage note missing")
+	}
+}
+
+func TestE5SmallScale(t *testing.T) {
+	tbl := E5GatheringVsN(quickCfg, []int{2, 3})
+	checkTable(t, tbl, "E5")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tbl.Rows))
+	}
+}
+
+func TestE6SmallScale(t *testing.T) { checkTable(t, E6PhaseOne(quickCfg, 3), "E6") }
+
+func TestE7SmallScale(t *testing.T) {
+	checkTable(t, E7PhaseTwo(quickCfg, []int{3}), "E7")
+}
+
+func TestE8SmallScale(t *testing.T) { checkTable(t, E8HullMonotonicity(quickCfg, 4), "E8") }
+
+func TestE9SmallScale(t *testing.T) { checkTable(t, E9Adversaries(quickCfg, 3), "E9") }
+
+func TestE10SmallScale(t *testing.T) {
+	tbl := E10Baselines(quickCfg, []int{3})
+	checkTable(t, tbl, "E10")
+	if len(tbl.Rows) != 4 { // four algorithms, one n
+		t.Fatalf("expected 4 rows, got %d", len(tbl.Rows))
+	}
+}
+
+func TestE11SmallScale(t *testing.T) { checkTable(t, E11Delta(quickCfg, 3), "E11") }
+
+func TestTableString(t *testing.T) {
+	tbl := Table{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "22"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "333") || !strings.Contains(s, "note: hello") {
+		t.Fatalf("unexpected render:\n%s", s)
+	}
+}

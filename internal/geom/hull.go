@@ -1,0 +1,254 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull computes the convex hull of the given points and returns the
+// hull vertices in counter-clockwise order, starting from the lexicographically
+// smallest point (lowest x, then lowest y). Interior points and points lying
+// on a hull edge (collinear with hull vertices) are NOT included: only the
+// corner vertices are returned. Duplicate input points are ignored.
+//
+// The implementation is Andrew's monotone chain, an equivalent of the Graham
+// scan the paper references (Graham 1972); both return exactly the set
+// onCH(c1..cm) used by the algorithm.
+func ConvexHull(pts []Vec) []Vec {
+	uniq := dedupPoints(pts)
+	n := len(uniq)
+	if n <= 2 {
+		out := make([]Vec, n)
+		copy(out, uniq)
+		return out
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].X != uniq[j].X {
+			return uniq[i].X < uniq[j].X
+		}
+		return uniq[i].Y < uniq[j].Y
+	})
+
+	hull := make([]Vec, 0, 2*n)
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// ConvexHullWithCollinear computes the convex hull and returns every input
+// point that lies on the hull boundary, including points on the interior of
+// hull edges, in counter-clockwise order. This matches the paper's notion of
+// onCH when several robot centers are collinear on a hull edge: all of them
+// are "on the convex hull" even though only the extreme two are corners.
+func ConvexHullWithCollinear(pts []Vec) []Vec {
+	corners := ConvexHull(pts)
+	if len(corners) <= 2 {
+		// Degenerate hull: every distinct point lies on it. Order along the
+		// dominant direction.
+		uniq := dedupPoints(pts)
+		if len(uniq) <= 1 {
+			return uniq
+		}
+		dir := uniq[0]
+		var far Vec
+		maxD := -1.0
+		for _, p := range uniq {
+			for _, q := range uniq {
+				if d := p.Dist(q); d > maxD {
+					maxD, dir, far = d, p, q
+				}
+			}
+		}
+		axis := far.Sub(dir)
+		sort.Slice(uniq, func(i, j int) bool {
+			return uniq[i].Sub(dir).Dot(axis) < uniq[j].Sub(dir).Dot(axis)
+		})
+		return uniq
+	}
+	uniq := dedupPoints(pts)
+	var out []Vec
+	for i := range corners {
+		a := corners[i]
+		b := corners[(i+1)%len(corners)]
+		// Collect all points on edge [a, b), ordered by distance from a.
+		var onEdge []Vec
+		for _, p := range uniq {
+			if p.EqWithin(b, Eps) {
+				continue
+			}
+			if p.EqWithin(a, Eps) || (CollinearWithin(a, b, p, Eps) && Between(a, b, p)) {
+				onEdge = append(onEdge, p)
+			}
+		}
+		sort.Slice(onEdge, func(x, y int) bool {
+			return onEdge[x].Dist2(a) < onEdge[y].Dist2(a)
+		})
+		out = append(out, onEdge...)
+	}
+	return dedupPoints(out)
+}
+
+// OnHull reports whether p is one of the points returned by
+// ConvexHullWithCollinear(pts), i.e. whether p lies on the boundary of the
+// convex hull of pts (as a vertex or on an edge).
+func OnHull(pts []Vec, p Vec) bool {
+	for _, q := range ConvexHullWithCollinear(pts) {
+		if q.EqWithin(p, Eps) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsHullVertex reports whether p is a corner vertex of the convex hull of
+// pts (not merely on an edge).
+func IsHullVertex(pts []Vec, p Vec) bool {
+	for _, q := range ConvexHull(pts) {
+		if q.EqWithin(p, Eps) {
+			return true
+		}
+	}
+	return false
+}
+
+// PointInConvexPolygon reports whether p lies inside or on the boundary of
+// the convex polygon given by its vertices in counter-clockwise order.
+func PointInConvexPolygon(p Vec, poly []Vec) bool {
+	n := len(poly)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return p.EqWithin(poly[0], Eps)
+	}
+	if n == 2 {
+		return Between(poly[0], poly[1], p)
+	}
+	for i := 0; i < n; i++ {
+		a := poly[i]
+		b := poly[(i+1)%n]
+		if Orientation(a, b, p) == Clockwise {
+			return false
+		}
+	}
+	return true
+}
+
+// PolygonArea returns the (non-negative) area of the polygon given by its
+// vertices in order (CW or CCW).
+func PolygonArea(poly []Vec) float64 {
+	n := len(poly)
+	if n < 3 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += poly[i].Cross(poly[j])
+	}
+	return math.Abs(sum) / 2
+}
+
+// PolygonPerimeter returns the perimeter of the polygon given by its vertices
+// in order.
+func PolygonPerimeter(poly []Vec) float64 {
+	n := len(poly)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += poly[i].Dist(poly[(i+1)%n])
+	}
+	return sum
+}
+
+// PolygonCentroid returns the centroid of the polygon area; for degenerate
+// polygons (fewer than 3 vertices or zero area) it falls back to the vertex
+// centroid.
+func PolygonCentroid(poly []Vec) Vec {
+	n := len(poly)
+	if n < 3 {
+		return Centroid(poly)
+	}
+	var cx, cy, a float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cr := poly[i].Cross(poly[j])
+		a += cr
+		cx += (poly[i].X + poly[j].X) * cr
+		cy += (poly[i].Y + poly[j].Y) * cr
+	}
+	if math.Abs(a) < Eps {
+		return Centroid(poly)
+	}
+	a /= 2
+	return Vec{cx / (6 * a), cy / (6 * a)}
+}
+
+// HullContains reports whether every vertex of inner's convex hull lies
+// inside or on the convex hull of outer. It is the containment check used to
+// verify the paper's hull-monotonicity lemmas (Lemma 20 and Lemma 21).
+func HullContains(outer, inner []Vec) bool {
+	oh := ConvexHull(outer)
+	for _, p := range ConvexHull(inner) {
+		if !PointInConvexPolygon(p, oh) {
+			// Allow boundary slack: a point may drift by a tiny amount due to
+			// floating-point motion updates.
+			if distanceToPolygon(p, oh) > 1e-7 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func distanceToPolygon(p Vec, poly []Vec) float64 {
+	if len(poly) == 0 {
+		return math.Inf(1)
+	}
+	if PointInConvexPolygon(p, poly) {
+		return 0
+	}
+	best := math.Inf(1)
+	for i := range poly {
+		d := DistancePointSegment(p, poly[i], poly[(i+1)%len(poly)])
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// dedupPoints returns the input points with (near-)duplicates removed,
+// preserving first occurrence order.
+func dedupPoints(pts []Vec) []Vec {
+	out := make([]Vec, 0, len(pts))
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if q.EqWithin(p, Eps) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

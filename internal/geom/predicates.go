@@ -1,0 +1,127 @@
+package geom
+
+import "math"
+
+// Orient is the sign of the orientation predicate for an ordered point
+// triple.
+type Orient int
+
+// Orientation classes. Collinear is deliberately the zero value so that a
+// degenerate triple is the default.
+const (
+	Collinear        Orient = 0
+	CounterClockwise Orient = 1
+	Clockwise        Orient = -1
+)
+
+// Orientation classifies the ordered triple (a, b, c): CounterClockwise if c
+// lies to the left of the directed line a->b, Clockwise if to the right, and
+// Collinear if the three points are collinear within tolerance Eps (scaled by
+// the magnitude of the involved coordinates for robustness).
+func Orientation(a, b, c Vec) Orient {
+	cross := b.Sub(a).Cross(c.Sub(a))
+	// Scale the tolerance with the extent of the triangle so the predicate is
+	// meaningful both near the origin and far from it.
+	scale := math.Max(1, math.Max(b.Sub(a).Norm(), c.Sub(a).Norm()))
+	tol := Eps * scale
+	switch {
+	case cross > tol:
+		return CounterClockwise
+	case cross < -tol:
+		return Clockwise
+	default:
+		return Collinear
+	}
+}
+
+// CollinearPts reports whether a, b, c lie on a single straight line within
+// the default tolerance.
+func CollinearPts(a, b, c Vec) bool { return Orientation(a, b, c) == Collinear }
+
+// CollinearWithin reports whether the perpendicular distance from c to the
+// infinite line through a and b is at most tol. If a and b coincide it
+// reports whether c is within tol of that point.
+func CollinearWithin(a, b, c Vec, tol float64) bool {
+	return DistancePointLine(c, a, b) <= tol
+}
+
+// DistancePointLine returns the perpendicular distance from p to the infinite
+// line through a and b. If a == b it returns the distance from p to a.
+func DistancePointLine(p, a, b Vec) float64 {
+	ab := b.Sub(a)
+	n := ab.Norm()
+	if n < Eps {
+		return p.Dist(a)
+	}
+	return math.Abs(ab.Cross(p.Sub(a))) / n
+}
+
+// DistancePointSegment returns the distance from p to the closed segment
+// [a, b].
+func DistancePointSegment(p, a, b Vec) float64 {
+	return p.Dist(ClosestPointOnSegment(p, a, b))
+}
+
+// ClosestPointOnSegment returns the point of the closed segment [a, b] that is
+// closest to p.
+func ClosestPointOnSegment(p, a, b Vec) Vec {
+	ab := b.Sub(a)
+	den := ab.Norm2()
+	if den < Eps*Eps {
+		return a
+	}
+	t := Clamp(p.Sub(a).Dot(ab)/den, 0, 1)
+	return a.Add(ab.Scale(t))
+}
+
+// ProjectPointOnLine returns the orthogonal projection of p onto the infinite
+// line through a and b. If a == b it returns a.
+func ProjectPointOnLine(p, a, b Vec) Vec {
+	ab := b.Sub(a)
+	den := ab.Norm2()
+	if den < Eps*Eps {
+		return a
+	}
+	t := p.Sub(a).Dot(ab) / den
+	return a.Add(ab.Scale(t))
+}
+
+// Between reports whether point p lies on the closed segment [a, b] within
+// the default tolerance.
+func Between(a, b, p Vec) bool {
+	return DistancePointSegment(p, a, b) <= Eps*math.Max(1, a.Dist(b))
+}
+
+// AngleAt returns the interior angle at vertex b of the path a-b-c, in
+// radians in [0, pi].
+func AngleAt(a, b, c Vec) float64 {
+	u := a.Sub(b)
+	w := c.Sub(b)
+	nu, nw := u.Norm(), w.Norm()
+	if nu < Eps || nw < Eps {
+		return 0
+	}
+	cos := Clamp(u.Dot(w)/(nu*nw), -1, 1)
+	return math.Acos(cos)
+}
+
+// NormalizeAngle maps an angle to the interval (-pi, pi].
+func NormalizeAngle(a float64) float64 {
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// AngularDiff returns the absolute smallest difference between two angles,
+// in [0, pi].
+func AngularDiff(a, b float64) float64 {
+	d := math.Abs(NormalizeAngle(a - b))
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}

@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientation(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c Vec
+		want    Orient
+	}{
+		{"ccw", V(0, 0), V(1, 0), V(0, 1), CounterClockwise},
+		{"cw", V(0, 0), V(0, 1), V(1, 0), Clockwise},
+		{"collinear-horizontal", V(0, 0), V(1, 0), V(2, 0), Collinear},
+		{"collinear-diag", V(0, 0), V(1, 1), V(5, 5), Collinear},
+		{"collinear-repeat", V(1, 1), V(1, 1), V(2, 3), Collinear},
+		{"ccw-far", V(100, 100), V(200, 100), V(150, 200), CounterClockwise},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Orientation(tt.a, tt.b, tt.c); got != tt.want {
+				t.Fatalf("got %v want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCollinearPredicates(t *testing.T) {
+	if !CollinearPts(V(0, 0), V(2, 2), V(7, 7)) {
+		t.Fatal("expected collinear")
+	}
+	if CollinearPts(V(0, 0), V(2, 2), V(7, 7.5)) {
+		t.Fatal("expected not collinear")
+	}
+	if !CollinearWithin(V(0, 0), V(10, 0), V(5, 0.05), 0.1) {
+		t.Fatal("expected collinear within 0.1")
+	}
+	if CollinearWithin(V(0, 0), V(10, 0), V(5, 0.5), 0.1) {
+		t.Fatal("expected not collinear within 0.1")
+	}
+}
+
+func TestDistancePointLineAndSegment(t *testing.T) {
+	tests := []struct {
+		name    string
+		p, a, b Vec
+		line    float64
+		seg     float64
+	}{
+		{"above-mid", V(5, 3), V(0, 0), V(10, 0), 3, 3},
+		{"beyond-end", V(12, 0), V(0, 0), V(10, 0), 0, 2},
+		{"before-start", V(-3, 4), V(0, 0), V(10, 0), 4, 5},
+		{"degenerate", V(3, 4), V(0, 0), V(0, 0), 5, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DistancePointLine(tt.p, tt.a, tt.b); !almostEq(got, tt.line, 1e-9) {
+				t.Fatalf("line dist got %v want %v", got, tt.line)
+			}
+			if got := DistancePointSegment(tt.p, tt.a, tt.b); !almostEq(got, tt.seg, 1e-9) {
+				t.Fatalf("segment dist got %v want %v", got, tt.seg)
+			}
+		})
+	}
+}
+
+func TestClosestPointOnSegment(t *testing.T) {
+	got := ClosestPointOnSegment(V(5, 3), V(0, 0), V(10, 0))
+	if !got.EqWithin(V(5, 0), 1e-9) {
+		t.Fatalf("got %v", got)
+	}
+	got = ClosestPointOnSegment(V(-5, 3), V(0, 0), V(10, 0))
+	if !got.EqWithin(V(0, 0), 1e-9) {
+		t.Fatalf("clamped start: got %v", got)
+	}
+	got = ClosestPointOnSegment(V(50, -3), V(0, 0), V(10, 0))
+	if !got.EqWithin(V(10, 0), 1e-9) {
+		t.Fatalf("clamped end: got %v", got)
+	}
+}
+
+func TestProjectPointOnLine(t *testing.T) {
+	got := ProjectPointOnLine(V(5, 7), V(0, 0), V(1, 0))
+	if !got.EqWithin(V(5, 0), 1e-9) {
+		t.Fatalf("got %v", got)
+	}
+	// Projection can fall outside the defining segment.
+	got = ProjectPointOnLine(V(-5, 7), V(0, 0), V(1, 0))
+	if !got.EqWithin(V(-5, 0), 1e-9) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	if !Between(V(0, 0), V(10, 0), V(5, 0)) {
+		t.Fatal("midpoint should be between")
+	}
+	if !Between(V(0, 0), V(10, 0), V(0, 0)) {
+		t.Fatal("endpoint should be between")
+	}
+	if Between(V(0, 0), V(10, 0), V(11, 0)) {
+		t.Fatal("point beyond end should not be between")
+	}
+	if Between(V(0, 0), V(10, 0), V(5, 1)) {
+		t.Fatal("off-line point should not be between")
+	}
+}
+
+func TestAngleAt(t *testing.T) {
+	if got := AngleAt(V(1, 0), V(0, 0), V(0, 1)); !almostEq(got, math.Pi/2, 1e-9) {
+		t.Fatalf("right angle: got %v", got)
+	}
+	if got := AngleAt(V(1, 0), V(0, 0), V(-1, 0)); !almostEq(got, math.Pi, 1e-9) {
+		t.Fatalf("straight angle: got %v", got)
+	}
+	if got := AngleAt(V(0, 0), V(0, 0), V(1, 0)); got != 0 {
+		t.Fatalf("degenerate angle: got %v", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi},
+		{math.Pi / 2, math.Pi / 2},
+		{2 * math.Pi, 0},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.in); !almostEq(got, tt.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAngularDiff(t *testing.T) {
+	if got := AngularDiff(0.1, -0.1); !almostEq(got, 0.2, 1e-9) {
+		t.Fatalf("got %v", got)
+	}
+	if got := AngularDiff(math.Pi-0.05, -math.Pi+0.05); !almostEq(got, 0.1, 1e-9) {
+		t.Fatalf("wraparound: got %v", got)
+	}
+}
+
+// Property: orientation flips sign when two points are swapped.
+func TestOrientationAntisymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.IsNaN(v) || math.Abs(v) > 1e4 {
+				return true
+			}
+		}
+		a, b, c := V(ax, ay), V(bx, by), V(cx, cy)
+		o1 := Orientation(a, b, c)
+		o2 := Orientation(a, c, b)
+		if o1 == Collinear || o2 == Collinear {
+			return true // tolerance boundary, skip
+		}
+		return o1 == -o2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the closest point on a segment is never farther than either
+// endpoint.
+func TestClosestPointProperty(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		for _, v := range []float64{px, py, ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > 1e4 {
+				return true
+			}
+		}
+		p, a, b := V(px, py), V(ax, ay), V(bx, by)
+		d := DistancePointSegment(p, a, b)
+		return d <= p.Dist(a)+1e-9 && d <= p.Dist(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

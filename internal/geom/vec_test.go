@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasicOps(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec
+		want Vec
+	}{
+		{"add", V(1, 2).Add(V(3, -1)), V(4, 1)},
+		{"sub", V(1, 2).Sub(V(3, -1)), V(-2, 3)},
+		{"scale", V(1, 2).Scale(2.5), V(2.5, 5)},
+		{"neg", V(1, -2).Neg(), V(-1, 2)},
+		{"perp", V(1, 0).Perp(), V(0, 1)},
+		{"perpcw", V(1, 0).PerpCW(), V(0, -1)},
+		{"lerp-mid", V(0, 0).Lerp(V(2, 4), 0.5), V(1, 2)},
+		{"lerp-start", V(3, 7).Lerp(V(2, 4), 0), V(3, 7)},
+		{"lerp-end", V(3, 7).Lerp(V(2, 4), 1), V(2, 4)},
+		{"midpoint", Midpoint(V(0, 0), V(4, 2)), V(2, 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.EqWithin(tt.want, 1e-12) {
+				t.Fatalf("got %v want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVecScalarOps(t *testing.T) {
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"dot", V(1, 2).Dot(V(3, 4)), 11},
+		{"cross", V(1, 0).Cross(V(0, 1)), 1},
+		{"cross-neg", V(0, 1).Cross(V(1, 0)), -1},
+		{"norm", V(3, 4).Norm(), 5},
+		{"norm2", V(3, 4).Norm2(), 25},
+		{"dist", V(1, 1).Dist(V(4, 5)), 5},
+		{"dist2", V(1, 1).Dist2(V(4, 5)), 25},
+		{"angle-x", V(1, 0).Angle(), 0},
+		{"angle-y", V(0, 1).Angle(), math.Pi / 2},
+		{"clamp-lo", Clamp(-1, 0, 1), 0},
+		{"clamp-hi", Clamp(2, 0, 1), 1},
+		{"clamp-mid", Clamp(0.3, 0, 1), 0.3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !almostEq(tt.got, tt.want, 1e-12) {
+				t.Fatalf("got %v want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := V(3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Fatalf("unit norm = %v", u.Norm())
+	}
+	if !V(0, 0).Unit().Eq(V(0, 0)) {
+		t.Fatal("unit of zero vector should be zero")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	got := V(1, 0).Rotate(math.Pi / 2)
+	if !got.EqWithin(V(0, 1), 1e-12) {
+		t.Fatalf("rotate 90: got %v", got)
+	}
+	got = V(2, 0).RotateAround(V(1, 0), math.Pi)
+	if !got.EqWithin(V(0, 0), 1e-12) {
+		t.Fatalf("rotate around: got %v", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if !Centroid(nil).Eq(V(0, 0)) {
+		t.Fatal("centroid of empty should be origin")
+	}
+	c := Centroid([]Vec{V(0, 0), V(2, 0), V(2, 2), V(0, 2)})
+	if !c.EqWithin(V(1, 1), 1e-12) {
+		t.Fatalf("centroid = %v", c)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2).IsFinite() {
+		t.Fatal("finite vec reported non-finite")
+	}
+	if V(math.NaN(), 0).IsFinite() {
+		t.Fatal("NaN vec reported finite")
+	}
+	if V(0, math.Inf(1)).IsFinite() {
+		t.Fatal("Inf vec reported finite")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if V(1, 2).String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: rotating by theta then -theta is the identity.
+func TestRotateInverseProperty(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(theta) > 1e3 {
+			return true
+		}
+		v := V(x, y)
+		back := v.Rotate(theta).Rotate(-theta)
+		return back.EqWithin(v, 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the triangle inequality holds for Dist.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		a, b, c := V(ax, ay), V(bx, by), V(cx, cy)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dot product of perpendicular vectors is zero.
+func TestPerpOrthogonalProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.Abs(x) > 1e8 || math.Abs(y) > 1e8 {
+			return true
+		}
+		v := V(x, y)
+		return math.Abs(v.Dot(v.Perp())) <= 1e-6*(1+v.Norm2())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

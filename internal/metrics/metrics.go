@@ -1,0 +1,165 @@
+// Package metrics provides the small statistical toolkit used by the
+// experiment harness: summaries of samples (mean, median, min, max, standard
+// deviation), success rates, and monotonicity checks over series (used to
+// validate the paper's hull-monotonicity lemmas).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of the given observations. An empty sample
+// yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(n)
+	variance := 0.0
+	for _, x := range sorted {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(n)
+	median := sorted[n/2]
+	if n%2 == 0 {
+		median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return Summary{
+		Count:  n,
+		Mean:   mean,
+		Median: median,
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// SummarizeInts converts integer observations and summarizes them.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// SuccessRate returns the fraction of true values (0 for an empty sample).
+func SuccessRate(outcomes []bool) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	succ := 0
+	for _, ok := range outcomes {
+		if ok {
+			succ++
+		}
+	}
+	return float64(succ) / float64(len(outcomes))
+}
+
+// MonotoneDirection classifies how a series evolves.
+type MonotoneDirection int
+
+// Monotonicity classes.
+const (
+	// NonMonotone: the series both increases and decreases beyond tolerance.
+	NonMonotone MonotoneDirection = iota
+	// NonDecreasing: the series never decreases beyond tolerance.
+	NonDecreasing
+	// NonIncreasing: the series never increases beyond tolerance.
+	NonIncreasing
+	// Constant: the series stays within tolerance of its first value.
+	Constant
+)
+
+// String implements fmt.Stringer.
+func (m MonotoneDirection) String() string {
+	switch m {
+	case NonDecreasing:
+		return "non-decreasing"
+	case NonIncreasing:
+		return "non-increasing"
+	case Constant:
+		return "constant"
+	default:
+		return "non-monotone"
+	}
+}
+
+// Monotonicity classifies a series with the given tolerance for noise.
+func Monotonicity(series []float64, tol float64) MonotoneDirection {
+	if len(series) < 2 {
+		return Constant
+	}
+	increases, decreases := false, false
+	for i := 1; i < len(series); i++ {
+		d := series[i] - series[i-1]
+		if d > tol {
+			increases = true
+		}
+		if d < -tol {
+			decreases = true
+		}
+	}
+	switch {
+	case !increases && !decreases:
+		return Constant
+	case increases && !decreases:
+		return NonDecreasing
+	case decreases && !increases:
+		return NonIncreasing
+	default:
+		return NonMonotone
+	}
+}
+
+// MaxDrawdown returns the largest drop from a running maximum in the series
+// (0 for non-decreasing series). It is used to quantify how badly a series
+// violates monotonicity.
+func MaxDrawdown(series []float64) float64 {
+	best := 0.0
+	runningMax := math.Inf(-1)
+	for _, x := range series {
+		if x > runningMax {
+			runningMax = x
+		}
+		if dd := runningMax - x; dd > best {
+			best = dd
+		}
+	}
+	return best
+}
+
+// MaxRise returns the largest rise from a running minimum in the series
+// (0 for non-increasing series).
+func MaxRise(series []float64) float64 {
+	best := 0.0
+	runningMin := math.Inf(1)
+	for _, x := range series {
+		if x < runningMin {
+			runningMin = x
+		}
+		if r := x - runningMin; r > best {
+			best = r
+		}
+	}
+	return best
+}

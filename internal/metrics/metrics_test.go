@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 || math.Abs(s.Median-2.5) > 1e-12 {
+		t.Fatalf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	ints := SummarizeInts([]int{1, 2, 3})
+	if ints.Mean != 2 {
+		t.Fatalf("ints mean = %v", ints.Mean)
+	}
+	constant := Summarize([]float64{7, 7, 7})
+	if constant.StdDev != 0 {
+		t.Fatalf("constant stddev = %v", constant.StdDev)
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	if SuccessRate(nil) != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	if got := SuccessRate([]bool{true, false, true, true}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	tests := []struct {
+		name   string
+		series []float64
+		want   MonotoneDirection
+	}{
+		{"increasing", []float64{1, 2, 3, 4}, NonDecreasing},
+		{"decreasing", []float64{4, 3, 2, 1}, NonIncreasing},
+		{"constant", []float64{2, 2, 2}, Constant},
+		{"noisy-constant", []float64{2, 2.0005, 1.9995}, Constant},
+		{"mixed", []float64{1, 3, 2}, NonMonotone},
+		{"short", []float64{5}, Constant},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Monotonicity(tt.series, 1e-2); got != tt.want {
+				t.Fatalf("got %v want %v", got, tt.want)
+			}
+		})
+	}
+	if NonDecreasing.String() == "" || NonMonotone.String() == "" {
+		t.Fatal("direction strings should be non-empty")
+	}
+}
+
+func TestDrawdownAndRise(t *testing.T) {
+	if got := MaxDrawdown([]float64{1, 5, 3, 4, 2}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("drawdown = %v", got)
+	}
+	if got := MaxDrawdown([]float64{1, 2, 3}); got != 0 {
+		t.Fatalf("monotone drawdown = %v", got)
+	}
+	if got := MaxRise([]float64{5, 1, 4, 2}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("rise = %v", got)
+	}
+	if got := MaxRise([]float64{3, 2, 1}); got != 0 {
+		t.Fatalf("monotone rise = %v", got)
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,502 @@
+// Package sim is the discrete-event simulator that realizes the paper's
+// execution model (Section 2 and Section 5): an execution is an alternating
+// sequence of robot configurations and adversary-chosen events
+// (Look, Compute, Done, Move, Stop, Collide, Arrive). The simulator enforces
+// the physical constraints of the fat-robot model — motion stops at the first
+// tangency, discs never overlap — and the liveness conditions (minimum
+// progress delta, every robot scheduled).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/core"
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/robot"
+	"github.com/fatgather/fatgather/internal/sched"
+	"github.com/fatgather/fatgather/internal/vision"
+)
+
+// Algorithm is a pluggable local algorithm run in the Compute state. The
+// paper's algorithm (PaperAlgorithm) is the default; baselines implement the
+// same interface so they can be compared under identical scheduling.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Decide maps a local view to a decision (target point or terminate).
+	Decide(v core.View) core.Decision
+}
+
+// PaperAlgorithm is the gathering algorithm of the paper (package core).
+type PaperAlgorithm struct{}
+
+// Name implements Algorithm.
+func (PaperAlgorithm) Name() string { return "agm-gathering" }
+
+// Decide implements Algorithm.
+func (PaperAlgorithm) Decide(v core.View) core.Decision { return core.Decide(v) }
+
+var _ Algorithm = PaperAlgorithm{}
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+// Run outcomes.
+const (
+	// OutcomeAllTerminated: every robot reached its Terminate state (the
+	// paper's termination condition).
+	OutcomeAllTerminated Outcome = iota + 1
+	// OutcomeGathered: the global gathering goal (connected + fully visible)
+	// holds and Options.StopWhenGathered was set.
+	OutcomeGathered
+	// OutcomeBudgetExhausted: the event budget ran out first.
+	OutcomeBudgetExhausted
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAllTerminated:
+		return "all-terminated"
+	case OutcomeGathered:
+		return "gathered"
+	case OutcomeBudgetExhausted:
+		return "budget-exhausted"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Algorithm is the local algorithm; nil means the paper's algorithm.
+	Algorithm Algorithm
+	// Adversary is the scheduler; nil means sched.NewFair().
+	Adversary sched.Adversary
+	// Vision is the visibility model; nil means vision.Default.
+	Vision *vision.Model
+	// Delta is the liveness minimum-progress distance; <=0 means
+	// sched.DefaultDelta.
+	Delta float64
+	// MaxEvents bounds the number of events; <=0 means 200000.
+	MaxEvents int
+	// StopWhenGathered ends the run as soon as the configuration is connected
+	// and fully visible, even if robots have not locally terminated yet.
+	StopWhenGathered bool
+	// SnapshotEvery records the configuration (and hull area) every k events;
+	// 0 disables snapshots.
+	SnapshotEvery int
+	// ValidateEveryEvent re-checks the no-overlap invariant after every
+	// event; slower but used extensively in tests.
+	ValidateEveryEvent bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Algorithm == nil {
+		o.Algorithm = PaperAlgorithm{}
+	}
+	if o.Adversary == nil {
+		o.Adversary = sched.NewFair()
+	}
+	if o.Vision == nil {
+		o.Vision = vision.Default
+	}
+	if o.Delta <= 0 {
+		o.Delta = sched.DefaultDelta
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 200000
+	}
+	return o
+}
+
+// Milestones records the first event index at which each of the paper's
+// intermediate properties held (-1 if never observed).
+type Milestones struct {
+	AllOnHull      int // |onCH(G)| = n
+	FullyVisible   int // every robot sees every robot
+	SafeConfig     int // all on hull AND fully visible (phase-2 precondition)
+	Connected      int // tangency graph connected
+	Gathered       int // connected AND fully visible (Definition 1)
+	FirstTerminate int // first robot reached Terminate
+}
+
+// Result summarizes a run.
+type Result struct {
+	Outcome           Outcome
+	Algorithm         string
+	Adversary         string
+	N                 int
+	Events            int
+	Cycles            int
+	TerminatedCount   int
+	Collisions        int
+	Stops             int
+	Arrivals          int
+	TotalDistance     float64
+	Final             config.Geometric
+	Milestones        Milestones
+	StateVisits       map[core.AlgState]int
+	HullAreaSeries    []float64
+	SpreadSeries      []float64
+	ConnectedAtEnd    bool
+	FullyVisibleAtEnd bool
+	Err               error
+}
+
+// Gathered reports whether the final configuration satisfies the geometric
+// gathering goal.
+func (r Result) Gathered() bool { return r.ConnectedAtEnd && r.FullyVisibleAtEnd }
+
+// ErrInvalidInitial is returned when the initial configuration has
+// overlapping robots.
+var ErrInvalidInitial = errors.New("sim: invalid initial configuration")
+
+// Simulator runs one execution.
+type Simulator struct {
+	opts   Options
+	robots []*robot.Robot
+	n      int
+
+	events      int
+	collisions  int
+	stops       int
+	arrivals    int
+	stateVisits map[core.AlgState]int
+
+	milestones   Milestones
+	areaSeries   []float64
+	spreadSeries []float64
+}
+
+// New creates a simulator for the given initial configuration.
+func New(initial config.Geometric, opts Options) (*Simulator, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInitial, err)
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("%w: no robots", ErrInvalidInitial)
+	}
+	o := opts.withDefaults()
+	robots := make([]*robot.Robot, len(initial))
+	for i, c := range initial {
+		robots[i] = robot.New(i, c)
+	}
+	return &Simulator{
+		opts:        o,
+		robots:      robots,
+		n:           len(initial),
+		stateVisits: make(map[core.AlgState]int),
+		milestones: Milestones{
+			AllOnHull: -1, FullyVisible: -1, SafeConfig: -1,
+			Connected: -1, Gathered: -1, FirstTerminate: -1,
+		},
+	}, nil
+}
+
+// Config returns the current geometric configuration.
+func (s *Simulator) Config() config.Geometric {
+	out := make(config.Geometric, s.n)
+	for i, r := range s.robots {
+		out[i] = r.Center
+	}
+	return out
+}
+
+// Robots exposes the robot records (read-only use intended).
+func (s *Simulator) Robots() []*robot.Robot { return s.robots }
+
+// Events returns the number of events executed so far.
+func (s *Simulator) Events() int { return s.events }
+
+// AllTerminated reports whether every robot has terminated.
+func (s *Simulator) AllTerminated() bool {
+	for _, r := range s.robots {
+		if !r.Terminated() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes events until termination, the gathering goal (if
+// StopWhenGathered), or the event budget, and returns the result.
+func (s *Simulator) Run() Result {
+	s.observe()
+	for s.events < s.opts.MaxEvents {
+		if s.AllTerminated() {
+			return s.result(OutcomeAllTerminated, nil)
+		}
+		if s.opts.StopWhenGathered && s.milestones.Gathered >= 0 {
+			return s.result(OutcomeGathered, nil)
+		}
+		if err := s.Step(); err != nil {
+			return s.result(OutcomeBudgetExhausted, err)
+		}
+	}
+	if s.AllTerminated() {
+		return s.result(OutcomeAllTerminated, nil)
+	}
+	if s.opts.StopWhenGathered && s.milestones.Gathered >= 0 {
+		return s.result(OutcomeGathered, nil)
+	}
+	return s.result(OutcomeBudgetExhausted, nil)
+}
+
+// Step executes a single event chosen by the adversary.
+func (s *Simulator) Step() error {
+	candidates := s.activeCandidates()
+	if len(candidates) == 0 {
+		return nil
+	}
+	states := make([]robot.State, s.n)
+	for i, r := range s.robots {
+		states[i] = r.State
+	}
+	id := s.opts.Adversary.Next(candidates, states)
+	if id < 0 || id >= s.n || s.robots[id].Terminated() {
+		id = candidates[0]
+	}
+	r := s.robots[id]
+
+	var err error
+	switch r.State {
+	case robot.Wait:
+		err = s.eventLook(r)
+	case robot.Look:
+		err = r.BeginCompute()
+	case robot.Compute:
+		err = s.eventComputeOutcome(r)
+	case robot.Move:
+		err = s.eventAdvance(r)
+	default:
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.events++
+	s.observe()
+	if s.opts.ValidateEveryEvent {
+		if verr := s.Config().Validate(); verr != nil {
+			return fmt.Errorf("sim: invariant violated after event %d: %w", s.events, verr)
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) activeCandidates() []int {
+	out := make([]int, 0, s.n)
+	for i, r := range s.robots {
+		if !r.Terminated() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// eventLook implements the Look event: the robot snapshots the centers it can
+// see (always including its own).
+func (s *Simulator) eventLook(r *robot.Robot) error {
+	centers := s.Config()
+	view := s.opts.Vision.ViewCenters(centers, r.ID)
+	return r.BeginLook(view)
+}
+
+// eventComputeOutcome implements the Compute/Done/Move events: run the local
+// algorithm on the robot's snapshot and either terminate or start moving.
+func (s *Simulator) eventComputeOutcome(r *robot.Robot) error {
+	self := r.Center
+	others := make([]geom.Vec, 0, len(r.View))
+	for _, c := range r.View {
+		if !c.EqWithin(self, geom.Eps) {
+			others = append(others, c)
+		}
+	}
+	decision := s.opts.Algorithm.Decide(core.NewView(self, others, s.n))
+	s.stateVisits[decision.Final()]++
+	if decision.Terminate {
+		if s.milestones.FirstTerminate < 0 {
+			s.milestones.FirstTerminate = s.events
+		}
+		return r.Done()
+	}
+	return r.BeginMove(decision.Target)
+}
+
+// eventAdvance implements the Move/Stop/Collide/Arrive events for one
+// activation of a moving robot: the adversary chooses the progress, motion is
+// truncated at the first tangency, and the robot's state is updated.
+func (s *Simulator) eventAdvance(r *robot.Robot) error {
+	remaining := r.RemainingDistance()
+	if remaining <= config.ContactEps {
+		s.arrivals++
+		return r.FinishMove()
+	}
+	action := s.opts.Adversary.Move(r.ID, remaining)
+	dist := action.Distance
+	minProgress := math.Min(s.opts.Delta, remaining)
+	if dist < minProgress {
+		dist = minProgress
+	}
+	if dist > remaining {
+		dist = remaining
+	}
+
+	free, blockedBy := s.freeDistance(r, dist)
+	r.Advance(free)
+
+	switch {
+	case blockedBy >= 0:
+		// Touched another robot: Collide/Stop per the paper; either way the
+		// robot returns to Wait.
+		s.collisions++
+		return r.FinishMove()
+	case r.RemainingDistance() <= config.ContactEps:
+		s.arrivals++
+		return r.FinishMove()
+	case action.Stop:
+		s.stops++
+		return r.FinishMove()
+	default:
+		// Remain in Move; a later activation continues the journey.
+		return nil
+	}
+}
+
+// freeDistance computes how far robot r can advance along its trajectory (up
+// to want) before its disc becomes tangent to another robot's disc, and which
+// robot blocks it (-1 if none within want).
+func (s *Simulator) freeDistance(r *robot.Robot, want float64) (float64, int) {
+	dir := r.Target.Sub(r.Center)
+	if dir.Norm() < geom.Eps {
+		return 0, -1
+	}
+	u := dir.Unit()
+	best := want
+	blocker := -1
+	for _, other := range s.robots {
+		if other.ID == r.ID {
+			continue
+		}
+		t, hits := firstContact(r.Center, u, other.Center, best)
+		if hits && t <= best {
+			best = t
+			blocker = other.ID
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best, blocker
+}
+
+// firstContact returns the smallest t in [0, limit] at which a unit disc
+// starting at p and moving along unit vector u becomes tangent to the unit
+// disc at q (center distance 2). hits is false if no such t exists within the
+// limit or the mover is heading away.
+func firstContact(p, u, q geom.Vec, limit float64) (t float64, hits bool) {
+	const contact = 2 * geom.UnitRadius
+	f := p.Sub(q)
+	dist := f.Norm()
+	approachRate := f.Dot(u) // negative when approaching
+	if dist <= contact+config.ContactEps {
+		// Already touching: blocked immediately only if moving closer.
+		if approachRate < -geom.Eps {
+			return 0, true
+		}
+		return 0, false
+	}
+	// Solve |f + t*u|^2 = contact^2.
+	b := 2 * approachRate
+	c := f.Norm2() - contact*contact
+	disc := b*b - 4*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	t1 := (-b - sq) / 2
+	if t1 < 0 || t1 > limit {
+		return 0, false
+	}
+	return t1, true
+}
+
+// observe updates milestone bookkeeping and optional snapshot series.
+func (s *Simulator) observe() {
+	cfg := s.Config()
+	allOnHull := cfg.AllOnHull()
+	fully := cfg.FullyVisible(s.opts.Vision)
+	connected := cfg.Connected()
+	if allOnHull && s.milestones.AllOnHull < 0 {
+		s.milestones.AllOnHull = s.events
+	}
+	if fully && s.milestones.FullyVisible < 0 {
+		s.milestones.FullyVisible = s.events
+	}
+	if allOnHull && fully && s.milestones.SafeConfig < 0 {
+		s.milestones.SafeConfig = s.events
+	}
+	if connected && s.milestones.Connected < 0 {
+		s.milestones.Connected = s.events
+	}
+	if connected && fully && s.milestones.Gathered < 0 {
+		s.milestones.Gathered = s.events
+	}
+	if s.opts.SnapshotEvery > 0 && s.events%s.opts.SnapshotEvery == 0 {
+		s.areaSeries = append(s.areaSeries, cfg.HullArea())
+		s.spreadSeries = append(s.spreadSeries, cfg.Spread())
+	}
+}
+
+func (s *Simulator) result(outcome Outcome, err error) Result {
+	cfg := s.Config()
+	cycles := 0
+	distance := 0.0
+	terminated := 0
+	for _, r := range s.robots {
+		cycles += r.Cycles
+		distance += r.DistanceTraveled
+		if r.Terminated() {
+			terminated++
+		}
+	}
+	visits := make(map[core.AlgState]int, len(s.stateVisits))
+	for k, v := range s.stateVisits {
+		visits[k] = v
+	}
+	return Result{
+		Outcome:           outcome,
+		Algorithm:         s.opts.Algorithm.Name(),
+		Adversary:         s.opts.Adversary.Name(),
+		N:                 s.n,
+		Events:            s.events,
+		Cycles:            cycles,
+		TerminatedCount:   terminated,
+		Collisions:        s.collisions,
+		Stops:             s.stops,
+		Arrivals:          s.arrivals,
+		TotalDistance:     distance,
+		Final:             cfg,
+		Milestones:        s.milestones,
+		StateVisits:       visits,
+		HullAreaSeries:    append([]float64(nil), s.areaSeries...),
+		SpreadSeries:      append([]float64(nil), s.spreadSeries...),
+		ConnectedAtEnd:    cfg.Connected(),
+		FullyVisibleAtEnd: cfg.FullyVisible(s.opts.Vision),
+		Err:               err,
+	}
+}
+
+// Run is a convenience helper: build a simulator for the initial
+// configuration and run it.
+func Run(initial config.Geometric, opts Options) (Result, error) {
+	s, err := New(initial, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

@@ -1,0 +1,95 @@
+// Package trace records executions as JSON documents (a sequence of
+// configuration snapshots plus run metadata) so that runs can be archived,
+// replayed, rendered, or re-validated offline.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+// Point is the JSON form of a robot center.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Frame is one recorded configuration.
+type Frame struct {
+	Event   int     `json:"event"`
+	Centers []Point `json:"centers"`
+}
+
+// Trace is a recorded execution.
+type Trace struct {
+	Algorithm string  `json:"algorithm"`
+	Adversary string  `json:"adversary"`
+	N         int     `json:"n"`
+	Seed      int64   `json:"seed"`
+	Frames    []Frame `json:"frames"`
+}
+
+// New creates an empty trace with the given metadata.
+func New(algorithm, adversary string, n int, seed int64) *Trace {
+	return &Trace{Algorithm: algorithm, Adversary: adversary, N: n, Seed: seed}
+}
+
+// Append records a configuration snapshot at the given event index.
+func (t *Trace) Append(event int, cfg config.Geometric) {
+	pts := make([]Point, len(cfg))
+	for i, c := range cfg {
+		pts[i] = Point{X: c.X, Y: c.Y}
+	}
+	t.Frames = append(t.Frames, Frame{Event: event, Centers: pts})
+}
+
+// Len returns the number of recorded frames.
+func (t *Trace) Len() int { return len(t.Frames) }
+
+// Config reconstructs the configuration of frame i.
+func (t *Trace) Config(i int) config.Geometric {
+	frame := t.Frames[i]
+	out := make(config.Geometric, len(frame.Centers))
+	for j, p := range frame.Centers {
+		out[j] = geom.V(p.X, p.Y)
+	}
+	return out
+}
+
+// Encode writes the trace as JSON.
+func (t *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a trace from JSON.
+func Decode(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace decode: %w", err)
+	}
+	return &t, nil
+}
+
+// Validate re-checks every recorded frame for the physical no-overlap
+// invariant and consistent robot count; it returns the first violation.
+func (t *Trace) Validate() error {
+	for i := range t.Frames {
+		cfg := t.Config(i)
+		if len(cfg) != t.N {
+			return fmt.Errorf("trace frame %d: %d robots, expected %d", i, len(cfg), t.N)
+		}
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("trace frame %d: %w", i, err)
+		}
+	}
+	return nil
+}

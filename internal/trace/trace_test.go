@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+func sample() *Trace {
+	tr := New("agm-gathering", "fair", 3, 42)
+	tr.Append(0, config.Geometric{geom.V(0, 0), geom.V(5, 0), geom.V(2, 4)})
+	tr.Append(10, config.Geometric{geom.V(1, 0), geom.V(4, 0), geom.V(2, 3)})
+	return tr
+}
+
+func TestAppendAndConfig(t *testing.T) {
+	tr := sample()
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	cfg := tr.Config(1)
+	if len(cfg) != 3 || !cfg[0].Eq(geom.V(1, 0)) {
+		t.Fatalf("config = %v", cfg)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != tr.Algorithm || back.Adversary != tr.Adversary ||
+		back.N != tr.N || back.Seed != tr.Seed || back.Len() != tr.Len() {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.Config(i), back.Config(i)
+		for j := range a {
+			if !a[j].EqWithin(b[j], 1e-12) {
+				t.Fatalf("frame %d robot %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeError(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{not json")); err == nil {
+		t.Fatal("invalid JSON should error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sample()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// Overlapping robots in a frame.
+	bad := New("x", "y", 2, 1)
+	bad.Append(0, config.Geometric{geom.V(0, 0), geom.V(1, 0)})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overlapping frame should fail validation")
+	}
+	// Wrong robot count.
+	short := New("x", "y", 3, 1)
+	short.Append(0, config.Geometric{geom.V(0, 0), geom.V(5, 0)})
+	if err := short.Validate(); err == nil {
+		t.Fatal("frame with wrong robot count should fail validation")
+	}
+}

@@ -1,0 +1,215 @@
+// Package vision implements the visibility model of the paper: robots are
+// opaque (non-transparent) closed unit discs, and robot ri sees robot rj if
+// there is a straight segment from a point of ri's disc to a point of rj's
+// disc that contains no point of any other robot's disc.
+//
+// Computing that predicate exactly (visibility between two discs amid disc
+// obstacles) is expensive; this package provides a conservative sight-line
+// test: a fixed family of candidate segments between the two discs is tested
+// against all other closed discs. If any candidate is unobstructed the robots
+// are mutually visible. Every candidate is a legitimate witness under the
+// paper's definition, so a "visible" answer is always sound; the
+// approximation may only under-report visibility in contrived near-tangent
+// configurations, and the number of sampled candidates is configurable to
+// tighten it (see Options).
+package vision
+
+import (
+	"math"
+
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+// DefaultBoundarySamples is the default number of boundary points sampled on
+// each disc (per side) when generating candidate sight lines, in addition to
+// the center-center and common-tangent candidates.
+const DefaultBoundarySamples = 8
+
+// BlockTol is the numerical cushion used when deciding whether a candidate
+// sight line is blocked by a disc. The paper's robots are closed discs, so a
+// segment that merely grazes another robot's boundary already "contains a
+// point of another robot" and is blocked; a candidate is therefore blocked
+// when its distance to a blocker's center is at most radius+BlockTol.
+const BlockTol = 1e-9
+
+// Options configures the visibility model.
+type Options struct {
+	// Radius is the robot disc radius. Zero means geom.UnitRadius.
+	Radius float64
+	// BoundarySamples is the number of extra boundary points sampled per disc
+	// for candidate sight lines. Zero means DefaultBoundarySamples.
+	BoundarySamples int
+}
+
+func (o Options) radius() float64 {
+	if o.Radius <= 0 {
+		return geom.UnitRadius
+	}
+	return o.Radius
+}
+
+func (o Options) samples() int {
+	if o.BoundarySamples <= 0 {
+		return DefaultBoundarySamples
+	}
+	return o.BoundarySamples
+}
+
+// Model answers visibility queries for a fixed set of disc centers.
+// The zero value uses unit-radius discs and the default sampling density.
+type Model struct {
+	opts Options
+}
+
+// New returns a visibility model with the given options.
+func New(opts Options) *Model { return &Model{opts: opts} }
+
+// Default is a visibility model with default options (unit discs).
+var Default = New(Options{})
+
+// Visible reports whether the robot centered at centers[i] can see the robot
+// centered at centers[j], given that every entry of centers is an opaque
+// closed disc. A robot always sees itself.
+func (m *Model) Visible(centers []geom.Vec, i, j int) bool {
+	if i == j {
+		return true
+	}
+	r := m.opts.radius()
+	ci, cj := centers[i], centers[j]
+
+	blockers := make([]geom.Vec, 0, len(centers)-2)
+	for k, c := range centers {
+		if k == i || k == j {
+			continue
+		}
+		blockers = append(blockers, c)
+	}
+	if len(blockers) == 0 {
+		return true
+	}
+
+	for _, seg := range m.candidateSegments(ci, cj, r) {
+		if !segmentBlocked(seg, blockers, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// VisiblePair reports whether two discs at a and b can see each other given
+// the obstacle discs (which must not include a or b).
+func (m *Model) VisiblePair(a, b geom.Vec, obstacles []geom.Vec) bool {
+	r := m.opts.radius()
+	if len(obstacles) == 0 {
+		return true
+	}
+	for _, seg := range m.candidateSegments(a, b, r) {
+		if !segmentBlocked(seg, obstacles, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// View returns the indices of all robots visible from robot i (always
+// including i itself), in increasing index order.
+func (m *Model) View(centers []geom.Vec, i int) []int {
+	out := make([]int, 0, len(centers))
+	for j := range centers {
+		if m.Visible(centers, i, j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ViewCenters returns the centers of all robots visible from robot i
+// (including robot i's own center).
+func (m *Model) ViewCenters(centers []geom.Vec, i int) []geom.Vec {
+	idx := m.View(centers, i)
+	out := make([]geom.Vec, 0, len(idx))
+	for _, j := range idx {
+		out = append(out, centers[j])
+	}
+	return out
+}
+
+// FullVisibility reports whether robot i sees every robot in the
+// configuration.
+func (m *Model) FullVisibility(centers []geom.Vec, i int) bool {
+	for j := range centers {
+		if !m.Visible(centers, i, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// FullyVisible reports whether every robot sees every other robot (the
+// paper's "fully visible configuration").
+func (m *Model) FullyVisible(centers []geom.Vec) bool {
+	for i := range centers {
+		if !m.FullVisibility(centers, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// VisibilityCount returns the number of ordered pairs (i, j), i != j, such
+// that robot i sees robot j. The maximum is n*(n-1).
+func (m *Model) VisibilityCount(centers []geom.Vec) int {
+	count := 0
+	for i := range centers {
+		for j := range centers {
+			if i != j && m.Visible(centers, i, j) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// candidateSegments generates the candidate sight lines between the discs at
+// a and b: the center-center segment (clipped to the disc boundaries), the
+// two outer common tangents, and sampled boundary-to-boundary segments on the
+// halves of each disc facing the other.
+func (m *Model) candidateSegments(a, b geom.Vec, r float64) []geom.Segment {
+	dir := b.Sub(a)
+	d := dir.Norm()
+	segs := make([]geom.Segment, 0, 3+m.opts.samples()*2)
+	if d <= 2*r+geom.Eps {
+		// Touching or (illegally) overlapping discs: they trivially see each
+		// other through the contact region; a degenerate segment at the
+		// contact point witnesses it.
+		mid := geom.Midpoint(a, b)
+		return []geom.Segment{{A: mid, B: mid}}
+	}
+	u := dir.Unit()
+	// Center-line candidate, clipped to the boundaries.
+	segs = append(segs, geom.Segment{A: a.Add(u.Scale(r)), B: b.Sub(u.Scale(r))})
+	// Outer common tangents.
+	segs = append(segs, geom.OuterTangentSegments(a, b, r)...)
+	// Sampled boundary points on the facing halves.
+	nSamples := m.opts.samples()
+	base := u.Angle()
+	for s := 1; s <= nSamples; s++ {
+		// Spread angles in (-pi/2, pi/2) around the facing direction.
+		off := (float64(s)/float64(nSamples+1) - 0.5) * math.Pi
+		pa := geom.Circle{Center: a, Radius: r}.PointAtAngle(base + off)
+		pb := geom.Circle{Center: b, Radius: r}.PointAtAngle(base + math.Pi - off)
+		segs = append(segs, geom.Segment{A: pa, B: pb})
+	}
+	return segs
+}
+
+// segmentBlocked reports whether the segment comes within the closed disc of
+// radius r of any blocker.
+func segmentBlocked(seg geom.Segment, blockers []geom.Vec, r float64) bool {
+	for _, c := range blockers {
+		if geom.DistancePointSegment(c, seg.A, seg.B) <= r+BlockTol {
+			return true
+		}
+	}
+	return false
+}

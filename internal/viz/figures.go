@@ -1,0 +1,85 @@
+package viz
+
+import (
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/core"
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+// FigureMoveToPoint reproduces Figure 2 of the paper: two unit discs, the
+// perpendicular offset construction at c2, and the resulting target point µ.
+// It returns a standalone SVG document.
+func FigureMoveToPoint(c1, c2 geom.Vec, n int) string {
+	interior := geom.Midpoint(c1, c2).Add(c2.Sub(c1).Unit().Perp().Scale(5))
+	mu := core.MoveToPoint(c1, c2, n, interior)
+	stop := core.TangencyTarget(c1, c2, mu)
+	extras := []string{
+		Line(c1, mu, "#e6550d"),
+		Marker(mu, "#e6550d"),
+		Marker(stop, "#31a354"),
+		Line(c2, c2.Add(c2.Sub(c1).Unit().Perp().Scale(1)), "#756bb1"),
+	}
+	return SVG(config.Geometric{c1, c2}, SVGOptions{DrawHull: false, Labels: true, Extra: extras})
+}
+
+// FigureFindPoints reproduces Figure 3 of the paper: a convex hull of robots
+// with the Find-Points candidate positions marked (valid candidates in green).
+func FigureFindPoints(hull config.Geometric, n int) string {
+	candidates := core.FindPoints(hull, n)
+	extras := make([]string, 0, len(candidates))
+	for _, p := range candidates {
+		extras = append(extras, Marker(p, "#31a354"))
+	}
+	return SVG(hull, SVGOptions{DrawHull: true, Labels: true, Extra: extras})
+}
+
+// FigureStraightLine reproduces Figure 5 of the paper: three hull robots with
+// the 1/n-wide rectangle around the chord of the outer two, illustrating the
+// straight-line test of Procedure NotAllOnConvexHull.
+func FigureStraightLine(cl, cm, cr geom.Vec, n int) string {
+	w := 1 / float64(n)
+	dir := cr.Sub(cl).Unit()
+	off := dir.Perp().Scale(w)
+	extras := []string{
+		Line(cl.Add(off), cr.Add(off), "#756bb1"),
+		Line(cl.Sub(off), cr.Sub(off), "#756bb1"),
+		Line(cl.Add(off), cl.Sub(off), "#756bb1"),
+		Line(cr.Add(off), cr.Sub(off), "#756bb1"),
+		Line(cl, cr, "#e6550d"),
+	}
+	return SVG(config.Geometric{cl, cm, cr}, SVGOptions{DrawHull: false, Labels: true, Extra: extras})
+}
+
+// FigureStateCycle reproduces Figure 1 of the paper (the Wait/Look/Compute/
+// Move/Terminate cycle) as a simple SVG state diagram. It is static by
+// nature; the simulator's event loop is the executable counterpart.
+func FigureStateCycle() string {
+	type node struct {
+		name string
+		pos  geom.Vec
+	}
+	nodes := []node{
+		{"Wait", geom.V(0, 0)},
+		{"Look", geom.V(8, 0)},
+		{"Compute", geom.V(16, 0)},
+		{"Move", geom.V(24, 0)},
+		{"Terminate", geom.V(16, -8)},
+	}
+	var extras []string
+	arrows := [][2]int{{0, 1}, {1, 2}, {2, 3}, {2, 4}}
+	for _, a := range arrows {
+		extras = append(extras, Line(nodes[a[0]].pos, nodes[a[1]].pos, "#3182bd"))
+	}
+	// The Move -> Wait back edge (Arrive/Stop/Collide) drawn as a two-segment
+	// detour below the axis.
+	extras = append(extras,
+		Line(nodes[3].pos, nodes[3].pos.Add(geom.V(0, -4)), "#31a354"),
+		Line(nodes[3].pos.Add(geom.V(0, -4)), nodes[0].pos.Add(geom.V(0, -4)), "#31a354"),
+		Line(nodes[0].pos.Add(geom.V(0, -4)), nodes[0].pos, "#31a354"),
+	)
+	cfg := make(config.Geometric, len(nodes))
+	for i, nd := range nodes {
+		cfg[i] = nd.pos
+	}
+	return SVG(cfg, SVGOptions{Labels: true, Extra: extras})
+}

@@ -1,0 +1,166 @@
+// Package viz renders robot configurations and executions: SVG documents for
+// reports and the paper-figure reproductions, and compact ASCII sketches for
+// terminals and tests.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+// SVGOptions controls SVG rendering.
+type SVGOptions struct {
+	// WidthPx is the pixel width of the output image (height follows the
+	// aspect ratio). Zero means 640.
+	WidthPx int
+	// DrawHull adds the convex hull of the robot centers as a polygon.
+	DrawHull bool
+	// Labels adds the robot index next to each disc.
+	Labels bool
+	// Extra appends raw SVG fragments (already in world coordinates) before
+	// the closing tag; used by the figure generators to add construction
+	// lines.
+	Extra []string
+}
+
+// SVG renders the configuration as a standalone SVG document.
+func SVG(cfg config.Geometric, opts SVGOptions) string {
+	width := opts.WidthPx
+	if width <= 0 {
+		width = 640
+	}
+	min, max := cfg.BoundingBox()
+	pad := 2.0
+	min = min.Sub(geom.V(pad, pad))
+	max = max.Add(geom.V(pad, pad))
+	worldW := max.X - min.X
+	worldH := max.Y - min.Y
+	if worldW <= 0 {
+		worldW = 1
+	}
+	if worldH <= 0 {
+		worldH = 1
+	}
+	height := int(float64(width) * worldH / worldW)
+	if height <= 0 {
+		height = width
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="%.3f %.3f %.3f %.3f">`+"\n",
+		width, height, min.X, min.Y, worldW, worldH)
+	// Flip the y axis so that +y is up, as in the math convention.
+	fmt.Fprintf(&b, `<g transform="translate(0 %.3f) scale(1 -1)">`+"\n", max.Y+min.Y)
+	fmt.Fprintf(&b, `<rect x="%.3f" y="%.3f" width="%.3f" height="%.3f" fill="white"/>`+"\n",
+		min.X, min.Y, worldW, worldH)
+
+	if opts.DrawHull && len(cfg) >= 3 {
+		hull := geom.ConvexHull(cfg)
+		var pts []string
+		for _, p := range hull {
+			pts = append(pts, fmt.Sprintf("%.4f,%.4f", p.X, p.Y))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="none" stroke="#888" stroke-width="0.05" stroke-dasharray="0.3,0.2"/>`+"\n",
+			strings.Join(pts, " "))
+	}
+	for i, c := range cfg {
+		fmt.Fprintf(&b, `<circle cx="%.4f" cy="%.4f" r="%.3f" fill="#9ecae1" stroke="#3182bd" stroke-width="0.06"/>`+"\n",
+			c.X, c.Y, geom.UnitRadius)
+		fmt.Fprintf(&b, `<circle cx="%.4f" cy="%.4f" r="0.08" fill="#08519c"/>`+"\n", c.X, c.Y)
+		if opts.Labels {
+			fmt.Fprintf(&b, `<text x="%.4f" y="%.4f" font-size="0.6" transform="scale(1 -1) translate(0 %.4f)">%d</text>`+"\n",
+				c.X+0.2, -c.Y, 2*c.Y, i)
+		}
+	}
+	for _, extra := range opts.Extra {
+		b.WriteString(extra)
+		b.WriteString("\n")
+	}
+	b.WriteString("</g>\n</svg>\n")
+	return b.String()
+}
+
+// Line returns an SVG fragment for a line segment in world coordinates,
+// usable in SVGOptions.Extra.
+func Line(a, b geom.Vec, color string) string {
+	return fmt.Sprintf(`<line x1="%.4f" y1="%.4f" x2="%.4f" y2="%.4f" stroke="%s" stroke-width="0.05"/>`,
+		a.X, a.Y, b.X, b.Y, color)
+}
+
+// Marker returns an SVG fragment for a small cross marker at p.
+func Marker(p geom.Vec, color string) string {
+	const s = 0.25
+	return Line(p.Add(geom.V(-s, -s)), p.Add(geom.V(s, s)), color) +
+		Line(p.Add(geom.V(-s, s)), p.Add(geom.V(s, -s)), color)
+}
+
+// ASCII renders the configuration on a character grid of the given size
+// (cols x rows). Robot discs are drawn with 'o' and their centers with the
+// last digit of their index. It is intentionally coarse: a readable sketch
+// for terminals and golden tests, not a precise plot.
+func ASCII(cfg config.Geometric, cols, rows int) string {
+	if cols <= 0 {
+		cols = 72
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	if len(cfg) == 0 {
+		return strings.Repeat(strings.Repeat(".", cols)+"\n", rows)
+	}
+	min, max := cfg.BoundingBox()
+	pad := 0.5
+	min = min.Sub(geom.V(pad, pad))
+	max = max.Add(geom.V(pad, pad))
+	w := max.X - min.X
+	h := max.Y - min.Y
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	grid := make([][]byte, rows)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", cols))
+	}
+	toCell := func(p geom.Vec) (int, int) {
+		cx := int((p.X - min.X) / w * float64(cols-1))
+		cy := int((max.Y - p.Y) / h * float64(rows-1))
+		return cx, cy
+	}
+	// Disc outlines.
+	for _, c := range cfg {
+		for _, ang := range angles(24) {
+			p := geom.UnitDisc(c).PointAtAngle(ang)
+			x, y := toCell(p)
+			if x >= 0 && x < cols && y >= 0 && y < rows && grid[y][x] == '.' {
+				grid[y][x] = 'o'
+			}
+		}
+	}
+	// Centers on top.
+	for i, c := range cfg {
+		x, y := toCell(c)
+		if x >= 0 && x < cols && y >= 0 && y < rows {
+			grid[y][x] = byte('0' + i%10)
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func angles(k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = 2 * 3.141592653589793 * float64(i) / float64(k)
+	}
+	return out
+}

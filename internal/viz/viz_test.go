@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+func square() config.Geometric {
+	return config.Geometric{geom.V(0, 0), geom.V(8, 0), geom.V(8, 8), geom.V(0, 8)}
+}
+
+func TestSVGBasics(t *testing.T) {
+	svg := SVG(square(), SVGOptions{DrawHull: true, Labels: true})
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(svg, "<circle") < 8 { // 4 discs + 4 center dots
+		t.Fatalf("expected circles for every robot, got %d", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, "<polygon") {
+		t.Fatal("hull polygon missing")
+	}
+	if !strings.Contains(svg, "<text") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestSVGWithoutOptions(t *testing.T) {
+	svg := SVG(config.Geometric{geom.V(0, 0)}, SVGOptions{})
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("single robot should render")
+	}
+	if strings.Contains(svg, "<polygon") {
+		t.Fatal("no hull requested")
+	}
+}
+
+func TestSVGExtras(t *testing.T) {
+	extra := Line(geom.V(0, 0), geom.V(5, 5), "#ff0000")
+	svg := SVG(square(), SVGOptions{Extra: []string{extra, Marker(geom.V(1, 1), "#00ff00")}})
+	if !strings.Contains(svg, "#ff0000") || !strings.Contains(svg, "#00ff00") {
+		t.Fatal("extras not embedded")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	art := ASCII(square(), 40, 16)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("row width = %d", len(l))
+		}
+	}
+	if !strings.Contains(art, "0") || !strings.Contains(art, "3") {
+		t.Fatal("robot centers not drawn")
+	}
+	if !strings.Contains(art, "o") {
+		t.Fatal("disc outlines not drawn")
+	}
+	empty := ASCII(nil, 10, 3)
+	if !strings.Contains(empty, ".") {
+		t.Fatal("empty configuration should render dots")
+	}
+	if def := ASCII(square(), 0, 0); def == "" {
+		t.Fatal("default dimensions should render")
+	}
+}
+
+func TestFigureGenerators(t *testing.T) {
+	figs := map[string]string{
+		"fig1": FigureStateCycle(),
+		"fig2": FigureMoveToPoint(geom.V(0, 0), geom.V(8, 0), 8),
+		"fig3": FigureFindPoints(config.Geometric{geom.V(0, 0), geom.V(12, 0), geom.V(14, 9), geom.V(6, 14), geom.V(-2, 9)}, 8),
+		"fig5": FigureStraightLine(geom.V(0, 0), geom.V(5, 0.08), geom.V(10, 0), 8),
+	}
+	for name, svg := range figs {
+		if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Fatalf("%s: not a complete SVG document", name)
+		}
+	}
+	// Figure 3 must mark at least one valid candidate on this wide hull.
+	if strings.Count(figs["fig3"], "<line") < 2 {
+		t.Fatal("fig3 should contain candidate markers")
+	}
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/fatgather/fatgather/internal/geom"
+)
+
+func TestGenerateAllKindsValid(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, n := range []int{1, 2, 5, 12, 25} {
+			cfg, err := Generate(kind, n, 7)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", kind, n, err)
+			}
+			if len(cfg) != n {
+				t.Fatalf("%s n=%d: generated %d robots", kind, n, len(cfg))
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%s n=%d: invalid configuration: %v", kind, n, err)
+			}
+			if cfg.MinPairDistance() < MinSeparation-1e-9 && n > 1 {
+				t.Fatalf("%s n=%d: robots closer than MinSeparation", kind, n)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := Generate(Kind("bogus"), 3, 1); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(KindRandom, 10, 99)
+	b, _ := Generate(KindRandom, 10, 99)
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatal("same seed should generate the same configuration")
+		}
+	}
+	c, _ := Generate(KindRandom, 10, 100)
+	same := true
+	for i := range a {
+		if !a[i].Eq(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should generate different configurations")
+	}
+}
+
+func TestCollinear(t *testing.T) {
+	cfg := Collinear(5, 3)
+	for _, c := range cfg {
+		if c.Y != 0 {
+			t.Fatal("collinear workload should lie on the x axis")
+		}
+	}
+	// Below minimum spacing gets clamped.
+	tight := Collinear(3, 0.5)
+	if tight.MinPairDistance() < MinSeparation-1e-9 {
+		t.Fatal("spacing should be clamped to MinSeparation")
+	}
+}
+
+func TestRingAndTangentRing(t *testing.T) {
+	ring := Ring(8, 0)
+	if err := ring.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(Ring(1, 0)) != 1 {
+		t.Fatal("ring of one robot")
+	}
+	tr := TangentRing(8)
+	if !tr.Connected() {
+		t.Fatal("tangent ring should be connected")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !TangentRing(2).Connected() || !TangentRing(1).Connected() {
+		t.Fatal("small tangent rings should be connected")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cfg := Grid(7, 4)
+	if len(cfg) != 7 {
+		t.Fatalf("grid size = %d", len(cfg))
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedHullsHasInteriorRobots(t *testing.T) {
+	cfg := NestedHulls(20, 5)
+	if cfg.AllOnHull() {
+		t.Fatal("nested hulls should place robots strictly inside the hull")
+	}
+}
+
+func TestTwoClustersSeparation(t *testing.T) {
+	cfg := TwoClusters(10, 3, 40)
+	left, right := 0, 0
+	for _, c := range cfg {
+		if c.X < 0 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Fatalf("two clusters should straddle the origin: left=%d right=%d", left, right)
+	}
+}
+
+// Property: every generator yields valid configurations for arbitrary seeds.
+func TestGeneratorValidityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, kindRaw uint8) bool {
+		kinds := Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		n := int(nRaw%15) + 1
+		cfg, err := Generate(kind, n, seed)
+		if err != nil {
+			return false
+		}
+		return cfg.Validate() == nil && len(cfg) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinSeparationConstant(t *testing.T) {
+	if MinSeparation <= 2*geom.UnitRadius {
+		t.Fatal("MinSeparation must exceed the tangency distance")
+	}
+}
