@@ -1,0 +1,194 @@
+package fatgather
+
+import (
+	"fmt"
+
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// BatchOptions configures RunBatch: the cross product of Workloads, Ns,
+// Adversaries and Algorithms is run for Seeds consecutive seeds starting at
+// SeedStart, fanned out over a worker pool.
+type BatchOptions struct {
+	// Workloads defaults to {WorkloadClustered}.
+	Workloads []Workload
+	// Ns defaults to {8}.
+	Ns []int
+	// Adversaries defaults to {AdversaryRandomAsync}.
+	Adversaries []AdversaryName
+	// Algorithms defaults to {AlgorithmPaper}.
+	Algorithms []AlgorithmName
+	// Seeds is the number of seeds per grid point (default 5); workload
+	// seeds are SeedStart, SeedStart+1, ... (SeedStart defaults to 1).
+	// Adversary randomness is derived per cell from the seed and the cell's
+	// coordinates, so every cell is reproducible in isolation.
+	Seeds     int
+	SeedStart int64
+	// Delta is the liveness minimum-progress distance (default 0.05).
+	Delta float64
+	// MaxEvents bounds each run (default 200000 events).
+	MaxEvents int
+	// StopWhenGathered stops each run as soon as the geometric goal holds.
+	StopWhenGathered bool
+	// Workers sizes the worker pool; <=0 means one worker per CPU core.
+	// Results are bit-identical for every worker count.
+	Workers int
+}
+
+// BatchCell identifies one run within a batch.
+type BatchCell struct {
+	Workload  Workload
+	N         int
+	Adversary AdversaryName
+	Algorithm AlgorithmName
+	// Seed is the workload seed of the cell.
+	Seed int64
+	// AdversarySeed is the per-cell adversary seed the batch derived from
+	// Seed and the cell's grid coordinates. Passing both seeds (and the rest
+	// of the cell's knobs) to Run replays the cell exactly.
+	AdversarySeed int64
+}
+
+// BatchCellResult pairs a cell with its run result.
+type BatchCellResult struct {
+	Cell   BatchCell
+	Result Result
+	// Err reports a cell that could not run; Result is zero then.
+	Err error
+}
+
+// BatchGroup aggregates the seeds of one (workload, n, adversary, algorithm)
+// grid point.
+type BatchGroup struct {
+	Workload  Workload
+	N         int
+	Adversary AdversaryName
+	Algorithm AlgorithmName
+	// Runs counts completed runs; Errors counts cells that failed to run.
+	Runs   int
+	Errors int
+	// GatheredRate and TerminatedRate are fractions of completed runs.
+	GatheredRate   float64
+	TerminatedRate float64
+	// Median cost measures over completed runs.
+	MedianEvents   float64
+	MedianCycles   float64
+	MedianDistance float64
+}
+
+// BatchResult reports a batch: every per-cell result (in deterministic grid
+// order: algorithm, workload, n, adversary, seed) plus per-point aggregates.
+type BatchResult struct {
+	Cells  []BatchCellResult
+	Groups []BatchGroup
+}
+
+// RunBatch runs a declarative batch of gathering simulations across all CPU
+// cores (or opts.Workers). Per-seed results are bit-identical regardless of
+// worker count, and any single cell can be replayed exactly with Run by
+// passing the cell's Seed and AdversarySeed (plus the batch's Delta,
+// MaxEvents and StopWhenGathered).
+func RunBatch(opts BatchOptions) (BatchResult, error) {
+	algNames := opts.Algorithms
+	if len(algNames) == 0 {
+		algNames = []AlgorithmName{AlgorithmPaper}
+	}
+	algs := make([]sim.Algorithm, len(algNames))
+	for i, name := range algNames {
+		alg, err := algorithmFor(name)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		algs[i] = alg
+	}
+	advNames := opts.Adversaries
+	if len(advNames) == 0 {
+		advNames = []AdversaryName{AdversaryRandomAsync}
+	}
+	advs := make([]string, len(advNames))
+	for i, name := range advNames {
+		if _, err := adversaryFor(name, 1); err != nil {
+			return BatchResult{}, err
+		}
+		advs[i] = string(name)
+	}
+	kinds := make([]workload.Kind, 0, len(opts.Workloads))
+	for _, w := range opts.Workloads {
+		known := false
+		for _, k := range workload.Kinds() {
+			if workload.Kind(w) == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return BatchResult{}, fmt.Errorf("%w: unknown workload %q", ErrBadOptions, w)
+		}
+		kinds = append(kinds, workload.Kind(w))
+	}
+	for _, n := range opts.Ns {
+		if n <= 0 {
+			return BatchResult{}, fmt.Errorf("%w: N must be positive, got %d", ErrBadOptions, n)
+		}
+	}
+	// A negative SeedStart could yield a cell with workload seed 0, which Run
+	// cannot replay (seed 0 means "default to 1" there); keep seeds positive.
+	if opts.SeedStart < 0 {
+		return BatchResult{}, fmt.Errorf("%w: SeedStart must be positive (or 0 for the default), got %d", ErrBadOptions, opts.SeedStart)
+	}
+
+	batch := engine.Batch{
+		Workloads:        kinds,
+		Ns:               opts.Ns,
+		Adversaries:      advs,
+		Algorithms:       algs,
+		Seeds:            opts.Seeds,
+		SeedStart:        opts.SeedStart,
+		Delta:            opts.Delta,
+		MaxEvents:        opts.MaxEvents,
+		StopWhenGathered: opts.StopWhenGathered,
+	}
+	cells := batch.Cells()
+	results, groups := engine.Aggregate(cells, engine.Options{Workers: opts.Workers},
+		func(r engine.CellResult) string {
+			return fmt.Sprintf("%s|%s|%d|%s", r.Cell.AlgorithmName(), r.Cell.Workload, r.Cell.N, r.Cell.AdversaryName())
+		})
+
+	out := BatchResult{Cells: make([]BatchCellResult, len(results))}
+	for i, r := range results {
+		cell := BatchCellResult{
+			Cell: BatchCell{
+				Workload:      Workload(r.Cell.Workload),
+				N:             r.Cell.N,
+				Adversary:     AdversaryName(r.Cell.AdversaryName()),
+				Algorithm:     AlgorithmName(r.Cell.AlgorithmName()),
+				Seed:          r.Cell.WorkloadSeed,
+				AdversarySeed: r.Cell.AdversarySeed,
+			},
+			Err: r.Err,
+		}
+		if r.Err == nil {
+			cell.Result = resultFromSim(r.Result)
+		}
+		out.Cells[i] = cell
+	}
+	out.Groups = make([]BatchGroup, len(groups))
+	for i, g := range groups {
+		out.Groups[i] = BatchGroup{
+			Workload:       Workload(g.Sample.Workload),
+			N:              g.Sample.N,
+			Adversary:      AdversaryName(g.Sample.AdversaryName()),
+			Algorithm:      AlgorithmName(g.Sample.AlgorithmName()),
+			Runs:           g.Runs,
+			Errors:         g.Errors,
+			GatheredRate:   g.GatheredRate,
+			TerminatedRate: g.TerminatedRate,
+			MedianEvents:   g.Events.Median,
+			MedianCycles:   g.Cycles.Median,
+			MedianDistance: g.Distance.Median,
+		}
+	}
+	return out, nil
+}

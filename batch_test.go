@@ -1,0 +1,115 @@
+package fatgather
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestRunBatchShapeAndDeterminism(t *testing.T) {
+	opts := BatchOptions{
+		Workloads: []Workload{WorkloadClustered, WorkloadRing},
+		Ns:        []int{3, 4},
+		Seeds:     2,
+		MaxEvents: 2500,
+		Workers:   3,
+	}
+	got, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2; len(got.Cells) != want {
+		t.Fatalf("expected %d cells, got %d", want, len(got.Cells))
+	}
+	if want := 2 * 2; len(got.Groups) != want {
+		t.Fatalf("expected %d groups, got %d", want, len(got.Groups))
+	}
+	for _, c := range got.Cells {
+		if c.Err != nil {
+			t.Fatalf("cell %+v failed: %v", c.Cell, c.Err)
+		}
+		if c.Cell.Algorithm != AlgorithmPaper || c.Cell.Adversary != AdversaryRandomAsync {
+			t.Fatalf("defaults not applied: %+v", c.Cell)
+		}
+		if c.Result.Events <= 0 {
+			t.Fatalf("cell %+v ran no events", c.Cell)
+		}
+	}
+	for _, g := range got.Groups {
+		if g.Runs != 2 || g.Errors != 0 {
+			t.Fatalf("group %+v has wrong run count", g)
+		}
+	}
+
+	// The same batch with a different worker count is bit-identical.
+	opts.Workers = 1
+	sequential, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sequential) {
+		t.Fatal("RunBatch results depend on worker count")
+	}
+}
+
+// TestRunBatchCellReplaysWithRun pins the replay contract: a single batch
+// cell, re-run through the public Run API with the cell's two seeds, must
+// reproduce the batch result exactly.
+func TestRunBatchCellReplaysWithRun(t *testing.T) {
+	opts := BatchOptions{
+		Workloads: []Workload{WorkloadClustered},
+		Ns:        []int{4},
+		Seeds:     3,
+		MaxEvents: 2500,
+	}
+	batch, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range batch.Cells {
+		replayed, err := Run(Options{
+			N:             c.Cell.N,
+			Workload:      c.Cell.Workload,
+			Seed:          c.Cell.Seed,
+			AdversarySeed: c.Cell.AdversarySeed,
+			Adversary:     c.Cell.Adversary,
+			Algorithm:     c.Cell.Algorithm,
+			MaxEvents:     opts.MaxEvents,
+		})
+		if err != nil {
+			t.Fatalf("replay %+v: %v", c.Cell, err)
+		}
+		if !reflect.DeepEqual(replayed, c.Result) {
+			t.Fatalf("replay of cell %+v differs from batch result", c.Cell)
+		}
+	}
+}
+
+func TestRunBatchRejectsBadOptions(t *testing.T) {
+	if _, err := RunBatch(BatchOptions{Adversaries: []AdversaryName{"nope"}}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad adversary: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{Algorithms: []AlgorithmName{"nope"}}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad algorithm: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{Ns: []int{0}}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad n: got %v", err)
+	}
+	// A negative seed range could reach workload seed 0, which Run cannot
+	// replay exactly; it must be rejected up front.
+	if _, err := RunBatch(BatchOptions{SeedStart: -1, Seeds: 2}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative SeedStart: got %v", err)
+	}
+}
+
+func TestRunBatchRejectsUnknownWorkload(t *testing.T) {
+	_, err := RunBatch(BatchOptions{
+		Workloads: []Workload{"no-such-workload"},
+		Ns:        []int{3},
+		Seeds:     1,
+		MaxEvents: 100,
+	})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad workload: got %v", err)
+	}
+}

@@ -1,11 +1,14 @@
 // Command gatherbench runs the experiment suite (E1..E12 from DESIGN.md /
 // EXPERIMENTS.md) and prints each resulting table. Individual experiments can
-// be selected by id.
+// be selected by id; the multi-run experiments (E5, E7, E9, E10, E11) are
+// executed on the parallel batch engine, whose results are bit-identical for
+// any worker count.
 //
 // Example:
 //
-//	gatherbench -seeds 5                 # full suite
-//	gatherbench -only E5,E10 -seeds 3    # selected experiments
+//	gatherbench -seeds 5                    # full suite, all cores
+//	gatherbench -only E5,E10 -seeds 8       # selected experiments
+//	gatherbench -workers 1 -timing -only E5 # sequential wall-clock baseline
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/fatgather/fatgather/internal/experiments"
 )
@@ -29,12 +33,15 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gatherbench", flag.ContinueOnError)
 	seeds := fs.Int("seeds", 3, "seeds per experiment cell")
 	maxEvents := fs.Int("max-events", 150000, "event budget per run")
+	workers := fs.Int("workers", 0, "worker pool size for the batch engine (0 = all cores; results are identical for any value)")
+	timing := fs.Bool("timing", false, "print wall-clock per experiment")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seeds: *seeds, MaxEvents: *maxEvents}
+	cfg := experiments.Config{Seeds: *seeds, MaxEvents: *maxEvents, Workers: *workers}
 
+	suite := experiments.Suite()
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		id = strings.TrimSpace(strings.ToUpper(id))
@@ -42,10 +49,27 @@ func run(args []string, out io.Writer) error {
 			wanted[id] = true
 		}
 	}
+	for id := range wanted {
+		known := false
+		for _, e := range suite {
+			if e.ID == id {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown experiment id %q", id)
+		}
+	}
 
-	for _, table := range experiments.All(cfg) {
-		if len(wanted) > 0 && !wanted[strings.ToUpper(table.ID)] {
+	for _, e := range suite {
+		if len(wanted) > 0 && !wanted[e.ID] {
 			continue
+		}
+		start := time.Now()
+		table := e.Run(cfg)
+		if *timing {
+			fmt.Fprintf(out, "-- %s: %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Fprintln(out, table.String())
 	}

@@ -111,6 +111,11 @@ type Options struct {
 	Initial []Point
 	// Seed drives both the workload generator and the adversary (default 1).
 	Seed int64
+	// AdversarySeed, when non-zero, seeds the adversary independently of
+	// Seed (which then drives only the workload generator). RunBatch reports
+	// each cell's derived adversary seed in BatchCell.AdversarySeed, so a
+	// single batch cell can be replayed exactly with Run.
+	AdversarySeed int64
 	// Algorithm selects the local algorithm (default AlgorithmPaper).
 	Algorithm AlgorithmName
 	// Adversary selects the scheduler (default AdversaryRandomAsync).
@@ -165,7 +170,11 @@ func Run(opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	adv, err := adversaryFor(opts.Adversary, opts.Seed)
+	advSeed := opts.AdversarySeed
+	if advSeed == 0 {
+		advSeed = opts.Seed
+	}
+	adv, err := adversaryFor(opts.Adversary, advSeed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -179,6 +188,11 @@ func Run(opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return resultFromSim(res), nil
+}
+
+// resultFromSim converts a simulator result to the public Result form.
+func resultFromSim(res sim.Result) Result {
 	return Result{
 		Gathered:               res.Gathered(),
 		AllTerminated:          res.Outcome == sim.OutcomeAllTerminated,
@@ -191,7 +205,7 @@ func Run(opts Options) (Result, error) {
 		Final:                  toPoints(res.Final),
 		Algorithm:              res.Algorithm,
 		Adversary:              res.Adversary,
-	}, nil
+	}
 }
 
 // GenerateWorkload exposes the initial-placement generators.

@@ -1,0 +1,3 @@
+module github.com/fatgather/fatgather
+
+go 1.22

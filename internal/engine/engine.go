@@ -1,0 +1,449 @@
+// Package engine is the parallel batch-simulation runner behind the
+// experiment harness and the public fatgather.RunBatch API. A batch is a
+// declarative cross product of workloads, robot counts, adversaries,
+// algorithms and seed ranges; the engine expands it into independent cells,
+// fans the cells across a worker pool, and streams the results back to a
+// collector in deterministic cell order.
+//
+// Determinism is the engine's core contract: every cell owns all of its
+// randomness (the workload seed and the adversary seed live in the Cell
+// itself, and the adversary is constructed inside the worker), so the result
+// of a batch is bit-identical regardless of the number of workers or the
+// order in which the scheduler happens to interleave them. Seed fan-out for
+// expanded batches uses a SplitMix64 derivation (DeriveSeed) so that cells
+// get decorrelated but reproducible random streams.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/metrics"
+	"github.com/fatgather/fatgather/internal/sched"
+	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/vision"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// DefaultAdversary is the adversary used when a Cell does not name one.
+const DefaultAdversary = "random-async"
+
+// Cell is one independent simulation: a fully self-contained specification
+// whose result depends only on its own fields, never on the surrounding
+// batch or on scheduling.
+type Cell struct {
+	// Workload and N select the generated initial placement; ignored when
+	// Initial is non-nil.
+	Workload workload.Kind
+	N        int
+	// WorkloadSeed drives the placement generator.
+	WorkloadSeed int64
+	// Initial, when non-nil, is used verbatim as the initial configuration.
+	Initial config.Geometric
+	// Algorithm is the local algorithm; nil means the paper's algorithm.
+	// Algorithm implementations must be stateless (all built-ins are), since
+	// a single value may be shared by many concurrent cells.
+	Algorithm sim.Algorithm
+	// Adversary names a sched.Registry strategy; "" means DefaultAdversary.
+	// The adversary instance is constructed per cell from AdversarySeed.
+	Adversary     string
+	AdversarySeed int64
+	// Delta, MaxEvents, SnapshotEvery and StopWhenGathered are forwarded to
+	// sim.Options.
+	Delta            float64
+	MaxEvents        int
+	SnapshotEvery    int
+	StopWhenGathered bool
+	// Vision overrides the visibility model; nil means vision.Default.
+	Vision *vision.Model
+}
+
+// AlgorithmName returns the report name of the cell's algorithm.
+func (c Cell) AlgorithmName() string {
+	if c.Algorithm == nil {
+		return sim.PaperAlgorithm{}.Name()
+	}
+	return c.Algorithm.Name()
+}
+
+// AdversaryName returns the effective adversary registry name.
+func (c Cell) AdversaryName() string {
+	if c.Adversary == "" {
+		return DefaultAdversary
+	}
+	return c.Adversary
+}
+
+// Run executes the cell sequentially in the calling goroutine. This is the
+// reference (sequential) semantics that the parallel engine must reproduce
+// bit-identically.
+func (c Cell) Run() (sim.Result, error) {
+	initial := c.Initial
+	if initial == nil {
+		var err error
+		initial, err = workload.Generate(c.Workload, c.N, c.WorkloadSeed)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("engine: cell workload: %w", err)
+		}
+	}
+	ctor, ok := sched.Registry(c.AdversarySeed)[c.AdversaryName()]
+	if !ok {
+		return sim.Result{}, fmt.Errorf("engine: unknown adversary %q", c.AdversaryName())
+	}
+	return sim.Run(initial, sim.Options{
+		Algorithm:        c.Algorithm,
+		Adversary:        ctor(),
+		Vision:           c.Vision,
+		Delta:            c.Delta,
+		MaxEvents:        c.MaxEvents,
+		SnapshotEvery:    c.SnapshotEvery,
+		StopWhenGathered: c.StopWhenGathered,
+	})
+}
+
+// CellResult pairs a cell with its simulation result.
+type CellResult struct {
+	// Index is the cell's position in the batch (results are always reported
+	// in index order).
+	Index int
+	Cell  Cell
+	// Result is the simulation outcome (zero when Err is non-nil).
+	Result sim.Result
+	// Err reports a cell that could not run (bad workload or adversary).
+	Err error
+	// Elapsed is the wall-clock time this cell took inside its worker.
+	Elapsed time.Duration
+}
+
+// Options configures a batch execution.
+type Options struct {
+	// Workers is the size of the worker pool; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnResult, when non-nil, is invoked once per cell in strictly increasing
+	// Index order as results become available (a streaming collector). It runs
+	// on the goroutine that called Run, so it needs no locking.
+	OnResult func(CellResult)
+}
+
+func (o Options) workers(ncells int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > ncells {
+		w = ncells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every cell on a worker pool and returns the results in cell
+// order. Results are bit-identical for any worker count, because each cell's
+// randomness is self-contained.
+func Run(cells []Cell, opts Options) []CellResult {
+	n := len(cells)
+	results := make([]CellResult, n)
+	if n == 0 {
+		return results
+	}
+	workers := opts.workers(n)
+
+	jobs := make(chan int)
+	done := make(chan int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				res, err := cells[i].Run()
+				results[i] = CellResult{
+					Index:   i,
+					Cell:    cells[i],
+					Result:  res,
+					Err:     err,
+					Elapsed: time.Since(start),
+				}
+				done <- i
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	// Deliver results to the collector in cell order as they complete; the
+	// done channel gives the happens-before edge for reading results[i].
+	ready := make([]bool, n)
+	next := 0
+	for received := 0; received < n; received++ {
+		i := <-done
+		ready[i] = true
+		for next < n && ready[next] {
+			if opts.OnResult != nil {
+				opts.OnResult(results[next])
+			}
+			next++
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// Batch is a declarative specification of a cell grid: the cross product of
+// algorithms, workloads, robot counts, adversaries and a seed range.
+type Batch struct {
+	// Workloads defaults to {clustered}.
+	Workloads []workload.Kind
+	// Ns defaults to {8}.
+	Ns []int
+	// Adversaries defaults to {DefaultAdversary}.
+	Adversaries []string
+	// Algorithms defaults to {nil} (the paper's algorithm).
+	Algorithms []sim.Algorithm
+	// Seeds is the number of seeds per (algorithm, workload, n, adversary)
+	// point; default 5. Workload seeds are SeedStart, SeedStart+1, ...
+	Seeds int
+	// SeedStart defaults to 1.
+	SeedStart int64
+	// Per-run knobs forwarded to every cell.
+	Delta            float64
+	MaxEvents        int
+	SnapshotEvery    int
+	StopWhenGathered bool
+	Vision           *vision.Model
+}
+
+func (b Batch) withDefaults() Batch {
+	if len(b.Workloads) == 0 {
+		b.Workloads = []workload.Kind{workload.KindClustered}
+	}
+	if len(b.Ns) == 0 {
+		b.Ns = []int{8}
+	}
+	if len(b.Adversaries) == 0 {
+		b.Adversaries = []string{DefaultAdversary}
+	}
+	if len(b.Algorithms) == 0 {
+		b.Algorithms = []sim.Algorithm{nil}
+	}
+	if b.Seeds <= 0 {
+		b.Seeds = 5
+	}
+	if b.SeedStart == 0 {
+		b.SeedStart = 1
+	}
+	return b
+}
+
+// Cells expands the batch into its cell grid in deterministic order:
+// algorithm (outermost), then workload, n, adversary, seed (innermost).
+// Each cell's adversary seed is derived from its own coordinates with
+// DeriveSeed, so cells are decorrelated yet reproducible.
+func (b Batch) Cells() []Cell {
+	b = b.withDefaults()
+	cells := make([]Cell, 0, len(b.Algorithms)*len(b.Workloads)*len(b.Ns)*len(b.Adversaries)*b.Seeds)
+	for _, alg := range b.Algorithms {
+		for _, wk := range b.Workloads {
+			for _, n := range b.Ns {
+				for _, adv := range b.Adversaries {
+					for s := 0; s < b.Seeds; s++ {
+						seed := b.SeedStart + int64(s)
+						cell := Cell{
+							Workload:         wk,
+							N:                n,
+							WorkloadSeed:     seed,
+							Algorithm:        alg,
+							Adversary:        adv,
+							Delta:            b.Delta,
+							MaxEvents:        b.MaxEvents,
+							SnapshotEvery:    b.SnapshotEvery,
+							StopWhenGathered: b.StopWhenGathered,
+							Vision:           b.Vision,
+						}
+						cell.AdversarySeed = DeriveSeed(seed,
+							StreamOf(string(wk), cell.AdversaryName(), cell.AlgorithmName()),
+							int64(n))
+						cells = append(cells, cell)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix with good statistical independence between nearby inputs.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives an independent RNG seed from a base
+// seed and a sequence of stream coordinates. Nearby bases and streams yield
+// decorrelated outputs (SplitMix64 mixing), and the result is always
+// positive so downstream math/rand sources behave uniformly.
+func DeriveSeed(base int64, streams ...int64) int64 {
+	const gamma = 0x9e3779b97f4a7c15
+	z := splitmix64(uint64(base) + gamma)
+	for _, s := range streams {
+		z = splitmix64(z + uint64(s)*gamma + gamma)
+	}
+	out := int64(z &^ (1 << 63))
+	if out == 0 {
+		out = 1
+	}
+	return out
+}
+
+// StreamOf hashes string labels (workload kind, adversary name, ...) into a
+// stream coordinate for DeriveSeed. FNV-1a, stable across runs and builds.
+func StreamOf(labels ...string) int64 {
+	h := fnv.New64a()
+	for _, l := range labels {
+		_, _ = h.Write([]byte(l))
+		_, _ = h.Write([]byte{0})
+	}
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// Group is an aggregated summary over the cells that share a collector key.
+type Group struct {
+	// Key is the collector key of the group.
+	Key string
+	// Sample is the first cell of the group (handy for labeling report rows).
+	Sample Cell
+	// Runs counts cells that produced a result; Errors counts cells that
+	// failed to run at all.
+	Runs   int
+	Errors int
+	// Rates over the successful runs.
+	GatheredRate   float64
+	TerminatedRate float64
+	ConnectedRate  float64
+	// Distributions over the successful runs.
+	Events     metrics.Summary
+	Cycles     metrics.Summary
+	Distance   metrics.Summary
+	Collisions metrics.Summary
+	Stops      metrics.Summary
+	// Elapsed is the summed worker wall-clock of the group's cells.
+	Elapsed time.Duration
+}
+
+// accum is the running state behind a Group.
+type accum struct {
+	sample     Cell
+	runs       int
+	errors     int
+	gathered   int
+	terminated int
+	connected  int
+	events     []float64
+	cycles     []float64
+	distance   []float64
+	collisions []float64
+	stops      []float64
+	elapsed    time.Duration
+}
+
+// Collector folds streaming cell results into per-key aggregates. It is not
+// safe for concurrent use; with engine.Run it never needs to be, because
+// OnResult is always invoked from a single goroutine.
+type Collector struct {
+	keyOf  func(CellResult) string
+	order  []string
+	groups map[string]*accum
+}
+
+// NewCollector returns a collector that groups results by keyOf.
+func NewCollector(keyOf func(CellResult) string) *Collector {
+	return &Collector{keyOf: keyOf, groups: make(map[string]*accum)}
+}
+
+// Add folds one result into its group. It is the natural Options.OnResult.
+func (c *Collector) Add(r CellResult) {
+	key := c.keyOf(r)
+	a, ok := c.groups[key]
+	if !ok {
+		a = &accum{sample: r.Cell}
+		c.groups[key] = a
+		c.order = append(c.order, key)
+	}
+	a.elapsed += r.Elapsed
+	if r.Err != nil {
+		a.errors++
+		return
+	}
+	res := r.Result
+	a.runs++
+	if res.Gathered() {
+		a.gathered++
+	}
+	if res.Outcome == sim.OutcomeAllTerminated {
+		a.terminated++
+	}
+	if res.ConnectedAtEnd {
+		a.connected++
+	}
+	a.events = append(a.events, float64(res.Events))
+	a.cycles = append(a.cycles, float64(res.Cycles))
+	a.distance = append(a.distance, res.TotalDistance)
+	a.collisions = append(a.collisions, float64(res.Collisions))
+	a.stops = append(a.stops, float64(res.Stops))
+}
+
+// Groups returns the aggregates in first-appearance order (which equals cell
+// order, since Add is called in cell order).
+func (c *Collector) Groups() []Group {
+	out := make([]Group, 0, len(c.order))
+	for _, key := range c.order {
+		a := c.groups[key]
+		g := Group{
+			Key:        key,
+			Sample:     a.sample,
+			Runs:       a.runs,
+			Errors:     a.errors,
+			Events:     metrics.Summarize(a.events),
+			Cycles:     metrics.Summarize(a.cycles),
+			Distance:   metrics.Summarize(a.distance),
+			Collisions: metrics.Summarize(a.collisions),
+			Stops:      metrics.Summarize(a.stops),
+			Elapsed:    a.elapsed,
+		}
+		if a.runs > 0 {
+			g.GatheredRate = float64(a.gathered) / float64(a.runs)
+			g.TerminatedRate = float64(a.terminated) / float64(a.runs)
+			g.ConnectedRate = float64(a.connected) / float64(a.runs)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Aggregate runs the cells and returns both the raw results and the grouped
+// summaries: the one-call form of the engine + collector pipeline.
+func Aggregate(cells []Cell, opts Options, keyOf func(CellResult) string) ([]CellResult, []Group) {
+	col := NewCollector(keyOf)
+	prev := opts.OnResult
+	opts.OnResult = func(r CellResult) {
+		col.Add(r)
+		if prev != nil {
+			prev(r)
+		}
+	}
+	results := Run(cells, opts)
+	return results, col.Groups()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/baseline"
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/sim"
+)
+
+// TestE5E10EngineBitIdenticalToSequential is the acceptance check for the
+// batch engine: the exact E5 and E10 cell grids at 8 seeds per cell, run
+// through the parallel engine, must produce per-seed results bit-identical
+// to plain sequential execution of the same cells.
+func TestE5E10EngineBitIdenticalToSequential(t *testing.T) {
+	cfg := Config{Seeds: 8, MaxEvents: 4000}
+	cells := e5Cells(cfg, []int{3, 5})
+	cells = append(cells, e10Cells(cfg, []int{3, 5},
+		[]sim.Algorithm{sim.PaperAlgorithm{}, baseline.Gravity{}, baseline.SmallN{}, baseline.Transparent{}})...)
+
+	parallel := engine.Run(cells, engine.Options{Workers: runtime.GOMAXPROCS(0)})
+	for i, c := range cells {
+		res, err := c.Run()
+		if (err == nil) != (parallel[i].Err == nil) {
+			t.Fatalf("cell %d: sequential err=%v engine err=%v", i, err, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(res, parallel[i].Result) {
+			t.Fatalf("cell %d (%s n=%d seed=%d): engine result differs from sequential execution",
+				i, c.AlgorithmName(), c.N, c.WorkloadSeed)
+		}
+	}
+}
+
+// TestExperimentsIdenticalForAnyWorkerCount pins the refactored drivers: the
+// printed tables must not depend on the worker pool size.
+func TestExperimentsIdenticalForAnyWorkerCount(t *testing.T) {
+	var ref []string
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Seeds: 2, MaxEvents: 3000, Workers: workers}
+		got := []string{
+			E5GatheringVsN(cfg, []int{3, 4}).String(),
+			E7PhaseTwo(cfg, []int{3}).String(),
+			E9Adversaries(cfg, 3).String(),
+			E10Baselines(cfg, []int{3}).String(),
+			E11Delta(cfg, 3).String(),
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("table %d differs between workers=1 and workers=%d:\n%s\nvs\n%s", i, workers, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// benchWorkerCounts is {1, GOMAXPROCS}; on a single-core machine there is no
+// all-cores datapoint to measure, so only the sequential entry runs.
+func benchWorkerCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkE5EngineWorkers measures the batch engine on the E5 grid at 8
+// seeds per cell with 1 worker (the sequential path) and all cores; on a
+// multi-core machine the all-core run is expected to be at least 2x faster.
+func BenchmarkE5EngineWorkers(b *testing.B) {
+	cfg := Config{Seeds: 8, MaxEvents: 20000}
+	cells := e5Cells(cfg, []int{4, 8})
+	for _, workers := range benchWorkerCounts() {
+		name := "sequential"
+		if workers > 1 {
+			name = "all-cores"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.Run(cells, engine.Options{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkE10EngineWorkers is the E10 counterpart of BenchmarkE5EngineWorkers.
+func BenchmarkE10EngineWorkers(b *testing.B) {
+	cfg := Config{Seeds: 8, MaxEvents: 20000}
+	cells := e10Cells(cfg, []int{4, 8},
+		[]sim.Algorithm{sim.PaperAlgorithm{}, baseline.Gravity{}, baseline.SmallN{}, baseline.Transparent{}})
+	for _, workers := range benchWorkerCounts() {
+		name := "sequential"
+		if workers > 1 {
+			name = "all-cores"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				engine.Run(cells, engine.Options{Workers: workers})
+			}
+		})
+	}
+}

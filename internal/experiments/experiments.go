@@ -12,6 +12,7 @@ import (
 	"github.com/fatgather/fatgather/internal/baseline"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/core"
+	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/geom"
 	"github.com/fatgather/fatgather/internal/metrics"
 	"github.com/fatgather/fatgather/internal/sched"
@@ -64,6 +65,10 @@ func (t Table) String() string {
 type Config struct {
 	Seeds     int // number of seeds per cell (default 5)
 	MaxEvents int // event budget per run (default 150000)
+	// Workers sizes the engine worker pool for the multi-run experiments
+	// (E5, E7, E9, E10, E11); <=0 means GOMAXPROCS. Results are identical
+	// for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,13 +81,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// engineOpts is the engine configuration the drivers share.
+func (c Config) engineOpts() engine.Options {
+	return engine.Options{Workers: c.Workers}
+}
+
+// snapshotEvery is the configuration-snapshot cadence shared by every
+// experiment run (both the direct drivers and the engine cell builders).
+const snapshotEvery = 50
+
 // runOnce runs the paper's algorithm on one workload instance.
 func runOnce(cfg config.Geometric, adv sched.Adversary, maxEvents int, alg sim.Algorithm) sim.Result {
 	res, err := sim.Run(cfg, sim.Options{
 		Algorithm:     alg,
 		Adversary:     adv,
 		MaxEvents:     maxEvents,
-		SnapshotEvery: 50,
+		SnapshotEvery: snapshotEvery,
 	})
 	if err != nil {
 		return sim.Result{Err: err}
@@ -226,35 +240,43 @@ func E5GatheringVsN(cfg Config, ns []int) Table {
 		Title:   "Theorem 26 — gathering success and cost vs n (random + clustered workloads)",
 		Columns: []string{"n", "runs", "gathered", "all-terminated", "median events", "median cycles", "median distance"},
 	}
-	for _, n := range ns {
-		var gathered, terminated []bool
-		var events, cycles []int
-		var dist []float64
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			for _, kind := range []workload.Kind{workload.KindClustered, workload.KindNestedHulls} {
-				w, err := workload.Generate(kind, n, int64(seed+1))
-				if err != nil {
-					continue
-				}
-				res := runOnce(w, sched.NewRandomAsync(int64(100+seed)), cfg.MaxEvents, nil)
-				gathered = append(gathered, res.Gathered())
-				terminated = append(terminated, res.Outcome == sim.OutcomeAllTerminated)
-				events = append(events, res.Events)
-				cycles = append(cycles, res.Cycles)
-				dist = append(dist, res.TotalDistance)
-			}
-		}
+	_, groups := engine.Aggregate(e5Cells(cfg, ns), cfg.engineOpts(), func(r engine.CellResult) string {
+		return fmt.Sprintf("%d", r.Cell.N)
+	})
+	for _, g := range groups {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%d", len(gathered)),
-			fmtF2(metrics.SuccessRate(gathered)),
-			fmtF2(metrics.SuccessRate(terminated)),
-			fmtF(metrics.SummarizeInts(events).Median),
-			fmtF(metrics.SummarizeInts(cycles).Median),
-			fmtF(metrics.Summarize(dist).Median),
+			g.Key,
+			fmt.Sprintf("%d", g.Runs),
+			fmtF2(g.GatheredRate),
+			fmtF2(g.TerminatedRate),
+			fmtF(g.Events.Median),
+			fmtF(g.Cycles.Median),
+			fmtF(g.Distance.Median),
 		})
 	}
 	return t
+}
+
+// e5Cells is the E5 cell grid: (n x seed x {clustered, nested-hulls}) under
+// the random-async adversary.
+func e5Cells(cfg Config, ns []int) []engine.Cell {
+	var cells []engine.Cell
+	for _, n := range ns {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			for _, kind := range []workload.Kind{workload.KindClustered, workload.KindNestedHulls} {
+				cells = append(cells, engine.Cell{
+					Workload:      kind,
+					N:             n,
+					WorkloadSeed:  int64(seed + 1),
+					Adversary:     "random-async",
+					AdversarySeed: int64(100 + seed),
+					MaxEvents:     cfg.MaxEvents,
+					SnapshotEvery: snapshotEvery,
+				})
+			}
+		}
+	}
+	return cells
 }
 
 // E6PhaseOne measures the time to reach the phase-1 target (all robots on the
@@ -305,16 +327,31 @@ func E7PhaseTwo(cfg Config, ns []int) Table {
 		Title:   "Lemma 23 — events from safe configuration to connected (ring starts)",
 		Columns: []string{"n", "runs", "connected", "median events to connected"},
 	}
+	var cells []engine.Cell
+	for _, n := range ns {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			cells = append(cells, engine.Cell{
+				Initial:       workload.Ring(n, 6+2*float64(n)),
+				N:             n,
+				Adversary:     "random-async",
+				AdversarySeed: int64(300 + seed),
+				MaxEvents:     cfg.MaxEvents,
+				SnapshotEvery: snapshotEvery,
+			})
+		}
+	}
+	results := engine.Run(cells, cfg.engineOpts())
 	for _, n := range ns {
 		var ok []bool
 		var when []int
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			w := workload.Ring(n, 6+2*float64(n))
-			res := runOnce(w, sched.NewRandomAsync(int64(300+seed)), cfg.MaxEvents, nil)
-			good := res.Milestones.Connected >= 0
+		for _, r := range results {
+			if r.Cell.N != n || r.Err != nil {
+				continue
+			}
+			good := r.Result.Milestones.Connected >= 0
 			ok = append(ok, good)
 			if good {
-				when = append(when, res.Milestones.Connected)
+				when = append(when, r.Result.Milestones.Connected)
 			}
 		}
 		medianStr := "-"
@@ -377,27 +414,30 @@ func E9Adversaries(cfg Config, n int) Table {
 		Title:   fmt.Sprintf("Lemma 25 — adversary strategies (n=%d, clustered workload)", n),
 		Columns: []string{"adversary", "runs", "gathered", "median events", "median stops", "median collisions"},
 	}
+	var cells []engine.Cell
 	for _, name := range sched.Names() {
-		var gathered []bool
-		var events, stops, collisions []int
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			w, err := workload.Generate(workload.KindClustered, n, int64(seed+1))
-			if err != nil {
-				continue
-			}
-			adv := sched.Registry(int64(400 + seed))[name]()
-			res := runOnce(w, adv, cfg.MaxEvents, nil)
-			gathered = append(gathered, res.Gathered())
-			events = append(events, res.Events)
-			stops = append(stops, res.Stops)
-			collisions = append(collisions, res.Collisions)
+			cells = append(cells, engine.Cell{
+				Workload:      workload.KindClustered,
+				N:             n,
+				WorkloadSeed:  int64(seed + 1),
+				Adversary:     name,
+				AdversarySeed: int64(400 + seed),
+				MaxEvents:     cfg.MaxEvents,
+				SnapshotEvery: snapshotEvery,
+			})
 		}
+	}
+	_, groups := engine.Aggregate(cells, cfg.engineOpts(), func(r engine.CellResult) string {
+		return r.Cell.AdversaryName()
+	})
+	for _, g := range groups {
 		t.Rows = append(t.Rows, []string{
-			name, fmt.Sprintf("%d", len(gathered)),
-			fmtF2(metrics.SuccessRate(gathered)),
-			fmtF(metrics.SummarizeInts(events).Median),
-			fmtF(metrics.SummarizeInts(stops).Median),
-			fmtF(metrics.SummarizeInts(collisions).Median),
+			g.Key, fmt.Sprintf("%d", g.Runs),
+			fmtF2(g.GatheredRate),
+			fmtF(g.Events.Median),
+			fmtF(g.Stops.Median),
+			fmtF(g.Collisions.Median),
 		})
 	}
 	return t
@@ -416,26 +456,40 @@ func E10Baselines(cfg Config, ns []int) Table {
 		Title:   "Baselines — connected / gathered rates per algorithm and n (clustered workloads)",
 		Columns: []string{"algorithm", "n", "runs", "connected", "gathered (conn+fully visible)"},
 	}
-	for _, alg := range algs {
-		for _, n := range ns {
-			var connected, gathered []bool
-			for seed := 0; seed < cfg.Seeds; seed++ {
-				w, err := workload.Generate(workload.KindClustered, n, int64(seed+1))
-				if err != nil {
-					continue
-				}
-				res := runOnce(w, sched.NewRandomAsync(int64(500+seed)), cfg.MaxEvents/2, alg)
-				connected = append(connected, res.ConnectedAtEnd)
-				gathered = append(gathered, res.Gathered())
-			}
-			t.Rows = append(t.Rows, []string{
-				alg.Name(), fmt.Sprintf("%d", n), fmt.Sprintf("%d", len(connected)),
-				fmtF2(metrics.SuccessRate(connected)), fmtF2(metrics.SuccessRate(gathered)),
-			})
-		}
+	_, groups := engine.Aggregate(e10Cells(cfg, ns, algs), cfg.engineOpts(), func(r engine.CellResult) string {
+		return fmt.Sprintf("%s|%d", r.Cell.AlgorithmName(), r.Cell.N)
+	})
+	for _, g := range groups {
+		t.Rows = append(t.Rows, []string{
+			g.Sample.AlgorithmName(), fmt.Sprintf("%d", g.Sample.N), fmt.Sprintf("%d", g.Runs),
+			fmtF2(g.ConnectedRate), fmtF2(g.GatheredRate),
+		})
 	}
 	t.Notes = append(t.Notes, "the paper's algorithm is the only one expected to keep full visibility while connecting for n >= 5")
 	return t
+}
+
+// e10Cells is the E10 cell grid: (algorithm x n x seed) on clustered
+// workloads under the random-async adversary, at half the event budget.
+func e10Cells(cfg Config, ns []int, algs []sim.Algorithm) []engine.Cell {
+	var cells []engine.Cell
+	for _, alg := range algs {
+		for _, n := range ns {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				cells = append(cells, engine.Cell{
+					Workload:      workload.KindClustered,
+					N:             n,
+					WorkloadSeed:  int64(seed + 1),
+					Algorithm:     alg,
+					Adversary:     "random-async",
+					AdversarySeed: int64(500 + seed),
+					MaxEvents:     cfg.MaxEvents / 2,
+					SnapshotEvery: snapshotEvery,
+				})
+			}
+		}
+	}
+	return cells
 }
 
 // E11Delta measures sensitivity to the liveness minimum-progress delta.
@@ -446,29 +500,28 @@ func E11Delta(cfg Config, n int) Table {
 		Title:   fmt.Sprintf("Liveness condition — sensitivity to delta (n=%d, clustered workload)", n),
 		Columns: []string{"delta", "runs", "gathered", "median events"},
 	}
+	var cells []engine.Cell
 	for _, delta := range []float64{0.01, 0.05, 0.1, 0.5, 1.0} {
-		var gathered []bool
-		var events []int
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			w, err := workload.Generate(workload.KindClustered, n, int64(seed+1))
-			if err != nil {
-				continue
-			}
-			res, err := sim.Run(w, sim.Options{
-				Adversary: sched.NewStopHappy(int64(600 + seed)),
-				Delta:     delta,
-				MaxEvents: cfg.MaxEvents,
+			cells = append(cells, engine.Cell{
+				Workload:      workload.KindClustered,
+				N:             n,
+				WorkloadSeed:  int64(seed + 1),
+				Adversary:     "stop-happy",
+				AdversarySeed: int64(600 + seed),
+				Delta:         delta,
+				MaxEvents:     cfg.MaxEvents,
 			})
-			if err != nil {
-				continue
-			}
-			gathered = append(gathered, res.Gathered())
-			events = append(events, res.Events)
 		}
+	}
+	_, groups := engine.Aggregate(cells, cfg.engineOpts(), func(r engine.CellResult) string {
+		return fmt.Sprintf("%.2f", r.Cell.Delta)
+	})
+	for _, g := range groups {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.2f", delta), fmt.Sprintf("%d", len(gathered)),
-			fmtF2(metrics.SuccessRate(gathered)),
-			fmtF(metrics.SummarizeInts(events).Median),
+			g.Key, fmt.Sprintf("%d", g.Runs),
+			fmtF2(g.GatheredRate),
+			fmtF(g.Events.Median),
 		})
 	}
 	return t
@@ -505,20 +558,38 @@ func E12Primitives(cfg Config) Table {
 	return t
 }
 
+// Experiment pairs an experiment id with its driver (run with the suite's
+// default arguments).
+type Experiment struct {
+	ID  string
+	Run func(Config) Table
+}
+
+// Suite returns every experiment in suite order, with the default arguments
+// used by cmd/gatherbench and All. It is the single definition of the suite.
+func Suite() []Experiment {
+	return []Experiment{
+		{"E1", E1StateCycle},
+		{"E2", E2MoveToPoint},
+		{"E3", E3FindPoints},
+		{"E4", E4StateCoverage},
+		{"E5", func(c Config) Table { return E5GatheringVsN(c, nil) }},
+		{"E6", func(c Config) Table { return E6PhaseOne(c, 6) }},
+		{"E7", func(c Config) Table { return E7PhaseTwo(c, nil) }},
+		{"E8", func(c Config) Table { return E8HullMonotonicity(c, 6) }},
+		{"E9", func(c Config) Table { return E9Adversaries(c, 6) }},
+		{"E10", func(c Config) Table { return E10Baselines(c, nil) }},
+		{"E11", func(c Config) Table { return E11Delta(c, 6) }},
+		{"E12", E12Primitives},
+	}
+}
+
 // All runs every experiment with the given configuration, in order.
 func All(cfg Config) []Table {
-	return []Table{
-		E1StateCycle(cfg),
-		E2MoveToPoint(cfg),
-		E3FindPoints(cfg),
-		E4StateCoverage(cfg),
-		E5GatheringVsN(cfg, nil),
-		E6PhaseOne(cfg, 6),
-		E7PhaseTwo(cfg, nil),
-		E8HullMonotonicity(cfg, 6),
-		E9Adversaries(cfg, 6),
-		E10Baselines(cfg, nil),
-		E11Delta(cfg, 6),
-		E12Primitives(cfg),
+	suite := Suite()
+	out := make([]Table, len(suite))
+	for i, e := range suite {
+		out[i] = e.Run(cfg)
 	}
+	return out
 }

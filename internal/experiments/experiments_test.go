@@ -71,6 +71,17 @@ func TestE10SmallScale(t *testing.T) {
 
 func TestE11SmallScale(t *testing.T) { checkTable(t, E11Delta(quickCfg, 3), "E11") }
 
+// TestSuiteIDsMatchTables pins the single-source-of-truth property of the
+// suite registry: the id each driver stamps on its Table must equal the id
+// Suite (and therefore gatherbench's -only filter) selects it by.
+func TestSuiteIDsMatchTables(t *testing.T) {
+	for _, e := range Suite() {
+		if got := e.Run(quickCfg).ID; got != e.ID {
+			t.Fatalf("suite entry %q produces table id %q", e.ID, got)
+		}
+	}
+}
+
 func TestTableString(t *testing.T) {
 	tbl := Table{
 		ID:      "X",

@@ -62,6 +62,39 @@ func SegmentIntersectsDisc(a, b, center Vec, r, tol float64) bool {
 	return DistancePointSegment(center, a, b) < r-tol
 }
 
+// FirstDiscContact returns the smallest t in [0, limit] at which a disc of
+// radius r starting at p and moving along the unit vector u becomes tangent
+// to the disc of radius r at q (center distance 2r). hits is false if no
+// such t exists within the limit or the mover is heading away. contactEps is
+// the tangency tolerance: discs already within 2r+contactEps are treated as
+// touching, and block immediately only when the mover approaches.
+func FirstDiscContact(p, u, q Vec, r, limit, contactEps float64) (t float64, hits bool) {
+	contact := 2 * r
+	f := p.Sub(q)
+	dist := f.Norm()
+	approachRate := f.Dot(u) // negative when approaching
+	if dist <= contact+contactEps {
+		// Already touching: blocked immediately only if moving closer.
+		if approachRate < -Eps {
+			return 0, true
+		}
+		return 0, false
+	}
+	// Solve |f + t*u|^2 = contact^2.
+	b := 2 * approachRate
+	c := f.Norm2() - contact*contact
+	disc := b*b - 4*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	t1 := (-b - sq) / 2
+	if t1 < 0 || t1 > limit {
+		return 0, false
+	}
+	return t1, true
+}
+
 // SegmentCircleIntersections returns the intersection points of the closed
 // segment [a, b] with the circle boundary (0, 1 or 2 points).
 func SegmentCircleIntersections(a, b Vec, c Circle) []Vec {

@@ -382,7 +382,7 @@ func (s *Simulator) freeDistance(r *robot.Robot, want float64) (float64, int) {
 		if other.ID == r.ID {
 			continue
 		}
-		t, hits := firstContact(r.Center, u, other.Center, best)
+		t, hits := geom.FirstDiscContact(r.Center, u, other.Center, geom.UnitRadius, best, config.ContactEps)
 		if hits && t <= best {
 			best = t
 			blocker = other.ID
@@ -392,37 +392,6 @@ func (s *Simulator) freeDistance(r *robot.Robot, want float64) (float64, int) {
 		best = 0
 	}
 	return best, blocker
-}
-
-// firstContact returns the smallest t in [0, limit] at which a unit disc
-// starting at p and moving along unit vector u becomes tangent to the unit
-// disc at q (center distance 2). hits is false if no such t exists within the
-// limit or the mover is heading away.
-func firstContact(p, u, q geom.Vec, limit float64) (t float64, hits bool) {
-	const contact = 2 * geom.UnitRadius
-	f := p.Sub(q)
-	dist := f.Norm()
-	approachRate := f.Dot(u) // negative when approaching
-	if dist <= contact+config.ContactEps {
-		// Already touching: blocked immediately only if moving closer.
-		if approachRate < -geom.Eps {
-			return 0, true
-		}
-		return 0, false
-	}
-	// Solve |f + t*u|^2 = contact^2.
-	b := 2 * approachRate
-	c := f.Norm2() - contact*contact
-	disc := b*b - 4*c
-	if disc < 0 {
-		return 0, false
-	}
-	sq := math.Sqrt(disc)
-	t1 := (-b - sq) / 2
-	if t1 < 0 || t1 > limit {
-		return 0, false
-	}
-	return t1, true
 }
 
 // observe updates milestone bookkeeping and optional snapshot series.

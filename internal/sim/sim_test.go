@@ -195,22 +195,22 @@ func TestBaselineAlgorithmPluggability(t *testing.T) {
 
 func TestFirstContact(t *testing.T) {
 	// Moving right toward a disc two units ahead of the contact distance.
-	tHit, hits := firstContact(v(0, 0), v(1, 0), v(4, 0), 10)
+	tHit, hits := geom.FirstDiscContact(v(0, 0), v(1, 0), v(4, 0), geom.UnitRadius, 10, config.ContactEps)
 	if !hits || tHit <= 0 || tHit > 2.0001 {
 		t.Fatalf("firstContact = %v %v", tHit, hits)
 	}
 	// Moving away from a touching disc is allowed.
-	_, hits = firstContact(v(0, 0), v(1, 0), v(-2, 0), 10)
+	_, hits = geom.FirstDiscContact(v(0, 0), v(1, 0), v(-2, 0), geom.UnitRadius, 10, config.ContactEps)
 	if hits {
 		t.Fatal("moving away from a tangent disc should not be blocked")
 	}
 	// Moving into a touching disc is blocked immediately.
-	tHit, hits = firstContact(v(0, 0), v(1, 0), v(2, 0), 10)
+	tHit, hits = geom.FirstDiscContact(v(0, 0), v(1, 0), v(2, 0), geom.UnitRadius, 10, config.ContactEps)
 	if !hits || tHit != 0 {
 		t.Fatalf("head-on tangent contact: %v %v", tHit, hits)
 	}
 	// A disc far off the path never blocks.
-	if _, hits = firstContact(v(0, 0), v(1, 0), v(5, 10), 100); hits {
+	if _, hits = geom.FirstDiscContact(v(0, 0), v(1, 0), v(5, 10), geom.UnitRadius, 100, config.ContactEps); hits {
 		t.Fatal("distant disc should not block")
 	}
 }

@@ -1,0 +1,170 @@
+package vision_test
+
+import (
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/vision"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+var (
+	dflt = vision.Default
+)
+
+// gridConfigs are the configurations the equivalence tests sweep: dense
+// rings, random spreads, clusters and the degenerate collinear line (long
+// skinny sight lines, the grid's worst case).
+func gridConfigs(t testing.TB) map[string][]geom.Vec {
+	t.Helper()
+	out := map[string][]geom.Vec{
+		"ring-40":   workload.Ring(40, 0),
+		"ring-wide": workload.Ring(24, 200),
+		"pair":      {geom.V(0, 0), geom.V(2, 0)},
+	}
+	for _, kind := range []workload.Kind{workload.KindRandom, workload.KindClustered, workload.KindCollinear, workload.KindGrid, workload.KindNestedHulls} {
+		cfg, err := workload.Generate(kind, 32, 7)
+		if err != nil {
+			t.Fatalf("generate %s: %v", kind, err)
+		}
+		out[string(kind)] = cfg
+	}
+	return out
+}
+
+// bruteVisible is the reference flat scan: Model.Visible never uses the grid.
+func bruteVisible(m *vision.Model, centers []geom.Vec, i, j int) bool {
+	return m.Visible(centers, i, j)
+}
+
+// TestIndexMatchesFlatScan checks that the grid-accelerated queries return
+// exactly the same answers as the flat blocker scan for every ordered pair.
+func TestIndexMatchesFlatScan(t *testing.T) {
+	for name, centers := range gridConfigs(t) {
+		ix := dflt.NewIndex(centers)
+		for i := range centers {
+			for j := range centers {
+				got := ix.Visible(i, j)
+				want := bruteVisible(dflt, centers, i, j)
+				if got != want {
+					t.Fatalf("%s: Visible(%d,%d) grid=%v flat=%v", name, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexViewMatchesModelView checks the batch helpers against pairwise
+// reference answers.
+func TestIndexViewMatchesModelView(t *testing.T) {
+	for name, centers := range gridConfigs(t) {
+		ix := dflt.NewIndex(centers)
+		for i := range centers {
+			var want []int
+			for j := range centers {
+				if bruteVisible(dflt, centers, i, j) {
+					want = append(want, j)
+				}
+			}
+			got := ix.View(i)
+			if len(got) != len(want) {
+				t.Fatalf("%s: View(%d) = %v want %v", name, i, got, want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("%s: View(%d) = %v want %v", name, i, got, want)
+				}
+			}
+			// Model.View routes through the index above GridThreshold; it must
+			// agree with the reference too.
+			mv := dflt.View(centers, i)
+			if len(mv) != len(want) {
+				t.Fatalf("%s: Model.View(%d) = %v want %v", name, i, mv, want)
+			}
+		}
+	}
+}
+
+// TestFullyVisibleMatchesFlatScan compares the whole-configuration predicate
+// on both sides of the grid threshold.
+func TestFullyVisibleMatchesFlatScan(t *testing.T) {
+	for name, centers := range gridConfigs(t) {
+		want := true
+	outer:
+		for i := range centers {
+			for j := range centers {
+				if !bruteVisible(dflt, centers, i, j) {
+					want = false
+					break outer
+				}
+			}
+		}
+		if got := dflt.FullyVisible(centers); got != want {
+			t.Fatalf("%s: FullyVisible = %v want %v", name, got, want)
+		}
+		if got := dflt.NewIndex(centers).FullyVisible(); got != want {
+			t.Fatalf("%s: Index.FullyVisible = %v want %v", name, got, want)
+		}
+	}
+}
+
+// TestVisibilityCountMatches cross-checks the ordered-pair count.
+func TestVisibilityCountMatches(t *testing.T) {
+	centers := workload.Ring(30, 0)
+	want := 0
+	for i := range centers {
+		for j := range centers {
+			if i != j && bruteVisible(dflt, centers, i, j) {
+				want++
+			}
+		}
+	}
+	if got := dflt.VisibilityCount(centers); got != want {
+		t.Fatalf("VisibilityCount = %d want %d", got, want)
+	}
+}
+
+func benchmarkCenters(n int) []geom.Vec { return workload.Ring(n, 0) }
+
+func BenchmarkFullyVisibleGrid(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		centers := benchmarkCenters(n)
+		b.Run(benchName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = dflt.NewIndex(centers).FullyVisible()
+			}
+		})
+	}
+}
+
+func BenchmarkFullyVisibleFlat(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		centers := benchmarkCenters(n)
+		b.Run(benchName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				flat := true
+			outer:
+				for x := range centers {
+					for y := range centers {
+						if !dflt.Visible(centers, x, y) {
+							flat = false
+							break outer
+						}
+					}
+				}
+				_ = flat
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	switch n {
+	case 32:
+		return "n=32"
+	case 64:
+		return "n=64"
+	default:
+		return "n=128"
+	}
+}

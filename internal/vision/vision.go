@@ -112,8 +112,13 @@ func (m *Model) VisiblePair(a, b geom.Vec, obstacles []geom.Vec) bool {
 }
 
 // View returns the indices of all robots visible from robot i (always
-// including i itself), in increasing index order.
+// including i itself), in increasing index order. Large configurations are
+// answered through a uniform-grid index (see Index); the result is identical
+// to the flat scan.
 func (m *Model) View(centers []geom.Vec, i int) []int {
+	if len(centers) >= GridThreshold {
+		return m.NewIndex(centers).View(i)
+	}
 	out := make([]int, 0, len(centers))
 	for j := range centers {
 		if m.Visible(centers, i, j) {
@@ -137,6 +142,9 @@ func (m *Model) ViewCenters(centers []geom.Vec, i int) []geom.Vec {
 // FullVisibility reports whether robot i sees every robot in the
 // configuration.
 func (m *Model) FullVisibility(centers []geom.Vec, i int) bool {
+	if len(centers) >= GridThreshold {
+		return m.NewIndex(centers).FullVisibility(i)
+	}
 	for j := range centers {
 		if !m.Visible(centers, i, j) {
 			return false
@@ -146,8 +154,12 @@ func (m *Model) FullVisibility(centers []geom.Vec, i int) bool {
 }
 
 // FullyVisible reports whether every robot sees every other robot (the
-// paper's "fully visible configuration").
+// paper's "fully visible configuration"). Large configurations are answered
+// through a single uniform-grid index shared by all n^2 pair queries.
 func (m *Model) FullyVisible(centers []geom.Vec) bool {
+	if len(centers) >= GridThreshold {
+		return m.NewIndex(centers).FullyVisible()
+	}
 	for i := range centers {
 		if !m.FullVisibility(centers, i) {
 			return false
@@ -159,10 +171,15 @@ func (m *Model) FullyVisible(centers []geom.Vec) bool {
 // VisibilityCount returns the number of ordered pairs (i, j), i != j, such
 // that robot i sees robot j. The maximum is n*(n-1).
 func (m *Model) VisibilityCount(centers []geom.Vec) int {
+	visible := func(i, j int) bool { return m.Visible(centers, i, j) }
+	if len(centers) >= GridThreshold {
+		ix := m.NewIndex(centers)
+		visible = ix.Visible
+	}
 	count := 0
 	for i := range centers {
 		for j := range centers {
-			if i != j && m.Visible(centers, i, j) {
+			if i != j && visible(i, j) {
 				count++
 			}
 		}
