@@ -5,6 +5,7 @@ import (
 
 	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/sweep"
 	"github.com/fatgather/fatgather/internal/workload"
 )
 
@@ -35,6 +36,24 @@ type BatchOptions struct {
 	// Workers sizes the worker pool; <=0 means one worker per CPU core.
 	// Results are bit-identical for every worker count.
 	Workers int
+	// SweepDir, when non-empty, streams every cell result to an on-disk
+	// store in that directory as workers finish. Together with Resume, a
+	// restarted batch re-runs only the cells the store does not hold yet;
+	// the results are byte-identical to an uninterrupted run.
+	SweepDir string
+	// Resume reuses completed cells found in SweepDir; without it an
+	// existing store is reset and the batch starts clean.
+	Resume bool
+	// AdaptiveCI, when positive, enables adaptive seed scheduling: every
+	// (workload, n, adversary, algorithm) group keeps receiving extra seed
+	// replicas beyond Seeds until the 95% confidence interval half-width of
+	// its event count falls to AdaptiveCI, or the group reaches
+	// AdaptiveMaxSeeds replicas. Each group's actual consumption is reported
+	// in BatchGroup.SeedsUsed.
+	AdaptiveCI float64
+	// AdaptiveMaxSeeds caps the seed replicas per group in adaptive mode
+	// (default 32).
+	AdaptiveMaxSeeds int
 }
 
 // BatchCell identifies one run within a batch.
@@ -76,13 +95,29 @@ type BatchGroup struct {
 	MedianEvents   float64
 	MedianCycles   float64
 	MedianDistance float64
+	// SeedsUsed is the number of seed replicas the group actually consumed:
+	// equal to BatchOptions.Seeds for fixed-seed batches, and the adaptive
+	// scheduler's per-group consumption when AdaptiveCI is set.
+	SeedsUsed int
+	// CIHalfWidth is the final 95% confidence interval half-width of the
+	// group's event count (adaptive batches only; 0 otherwise). IsInf when
+	// the group has fewer than two successful runs.
+	CIHalfWidth float64
 }
 
 // BatchResult reports a batch: every per-cell result (in deterministic grid
-// order: algorithm, workload, n, adversary, seed) plus per-point aggregates.
+// order: algorithm, workload, n, adversary, seed, then any adaptive replicas)
+// plus per-point aggregates.
 type BatchResult struct {
 	Cells  []BatchCellResult
 	Groups []BatchGroup
+	// Warnings reports non-fatal sweep-store problems: corrupt records
+	// skipped on load (those cells re-ran) and version mismatches.
+	Warnings []string
+	// Executed and Restored count the cells run in this process vs served
+	// from the SweepDir store (Restored is 0 without a store).
+	Executed int
+	Restored int
 }
 
 // RunBatch runs a declarative batch of gathering simulations across all CPU
@@ -151,12 +186,61 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		StopWhenGathered: opts.StopWhenGathered,
 	}
 	cells := batch.Cells()
-	results, groups := engine.Aggregate(cells, engine.Options{Workers: opts.Workers},
-		func(r engine.CellResult) string {
-			return fmt.Sprintf("%s|%s|%d|%s", r.Cell.AlgorithmName(), r.Cell.Workload, r.Cell.N, r.Cell.AdversaryName())
-		})
+	if err := engine.ValidateCells(cells); err != nil {
+		return BatchResult{}, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
 
-	out := BatchResult{Cells: make([]BatchCellResult, len(results))}
+	sweepOpts := sweep.Options{
+		Engine: engine.Options{Workers: opts.Workers},
+		Cache:  workload.NewCache(),
+	}
+	var warnings []string
+	if opts.SweepDir != "" {
+		st, err := sweep.Open(opts.SweepDir)
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+		defer st.Close()
+		if !opts.Resume {
+			if err := st.Reset(); err != nil {
+				return BatchResult{}, err
+			}
+		}
+		warnings = st.Warnings()
+		sweepOpts.Store = st
+	}
+
+	var (
+		results []engine.CellResult
+		infos   []sweep.GroupSeeds
+		stats   sweep.Stats
+	)
+	if opts.AdaptiveCI > 0 {
+		results, infos, stats = sweep.RunAdaptive(cells, sweepOpts, sweep.Adaptive{
+			TargetCI: opts.AdaptiveCI,
+			MaxSeeds: opts.AdaptiveMaxSeeds,
+		})
+	} else {
+		results, stats = sweep.Run(cells, sweepOpts)
+	}
+	if stats.AppendErrs > 0 {
+		warnings = append(warnings, fmt.Sprintf(
+			"sweep: %d results could not be checkpointed and will re-run on resume", stats.AppendErrs))
+	}
+	col := engine.NewCollector(func(r engine.CellResult) string {
+		return fmt.Sprintf("%s|%s|%d|%s", r.Cell.AlgorithmName(), r.Cell.Workload, r.Cell.N, r.Cell.AdversaryName())
+	})
+	for _, r := range results {
+		col.Add(r)
+	}
+	groups := col.Groups()
+
+	out := BatchResult{
+		Cells:    make([]BatchCellResult, len(results)),
+		Warnings: warnings,
+		Executed: stats.Executed,
+		Restored: stats.Restored,
+	}
 	for i, r := range results {
 		cell := BatchCellResult{
 			Cell: BatchCell{
@@ -188,6 +272,17 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 			MedianEvents:   g.Events.Median,
 			MedianCycles:   g.Cycles.Median,
 			MedianDistance: g.Distance.Median,
+			SeedsUsed:      g.Runs + g.Errors,
+		}
+	}
+	// The adaptive scheduler groups by full cell identity minus seeds, the
+	// collector by the public grid point; within one batch (uniform Delta,
+	// MaxEvents, ...) both partitions are identical and appear in the same
+	// first-seen order, so the per-group seed info zips by index.
+	if len(infos) == len(out.Groups) {
+		for i, info := range infos {
+			out.Groups[i].SeedsUsed = info.Seeds
+			out.Groups[i].CIHalfWidth = info.HalfWidth
 		}
 	}
 	return out, nil

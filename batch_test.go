@@ -3,6 +3,7 @@ package fatgather
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -99,6 +100,101 @@ func TestRunBatchRejectsBadOptions(t *testing.T) {
 	// replay exactly; it must be rejected up front.
 	if _, err := RunBatch(BatchOptions{SeedStart: -1, Seeds: 2}); !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("negative SeedStart: got %v", err)
+	}
+}
+
+// TestRunBatchValidatesExpandedCells pins the up-front batch validation:
+// invalid per-cell knobs are rejected before any worker runs, with an error
+// that names the offending cell.
+func TestRunBatchValidatesExpandedCells(t *testing.T) {
+	_, err := RunBatch(BatchOptions{Ns: []int{3}, Seeds: 1, MaxEvents: -5})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative MaxEvents: got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cell 0 [") || !strings.Contains(err.Error(), "MaxEvents") {
+		t.Fatalf("error does not name the offending cell: %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{Ns: []int{3}, Seeds: 1, Delta: -0.1, MaxEvents: 100}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative Delta: got %v", err)
+	}
+}
+
+// TestRunBatchResume pins the public resumable-sweep contract: a second
+// RunBatch with Resume on a completed store executes zero cells and returns
+// the identical BatchResult.
+func TestRunBatchResume(t *testing.T) {
+	dir := t.TempDir()
+	opts := BatchOptions{
+		Workloads: []Workload{WorkloadClustered},
+		Ns:        []int{3, 4},
+		Seeds:     2,
+		MaxEvents: 1500,
+		SweepDir:  dir,
+	}
+	first, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != len(first.Cells) || first.Restored != 0 {
+		t.Fatalf("fresh batch executed %d restored %d", first.Executed, first.Restored)
+	}
+
+	opts.Resume = true
+	second, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 || second.Restored != len(first.Cells) {
+		t.Fatalf("resumed batch executed %d restored %d, want 0/%d",
+			second.Executed, second.Restored, len(first.Cells))
+	}
+	if !reflect.DeepEqual(first.Cells, second.Cells) || !reflect.DeepEqual(first.Groups, second.Groups) {
+		t.Fatal("resumed batch differs from the fresh run")
+	}
+}
+
+// TestRunBatchAdaptive pins the adaptive seed scheduling surface: a tight
+// target with a small cap grows every group to the cap and reports the
+// consumption in SeedsUsed.
+func TestRunBatchAdaptive(t *testing.T) {
+	got, err := RunBatch(BatchOptions{
+		Workloads:        []Workload{WorkloadClustered},
+		Ns:               []int{3},
+		Seeds:            2,
+		MaxEvents:        1200,
+		AdaptiveCI:       1e-9,
+		AdaptiveMaxSeeds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != 1 {
+		t.Fatalf("expected 1 group, got %d", len(got.Groups))
+	}
+	g := got.Groups[0]
+	if g.SeedsUsed != 4 || g.Runs != 4 {
+		t.Fatalf("adaptive group consumed %d seeds over %d runs, want 4/4", g.SeedsUsed, g.Runs)
+	}
+	if g.CIHalfWidth <= 0 {
+		t.Fatalf("CIHalfWidth not reported: %v", g.CIHalfWidth)
+	}
+	if len(got.Cells) != 4 {
+		t.Fatalf("adaptive replicas missing: %d cells", len(got.Cells))
+	}
+	// A loose target keeps the grid at its initial size.
+	got, err = RunBatch(BatchOptions{
+		Workloads:  []Workload{WorkloadClustered},
+		Ns:         []int{3},
+		Seeds:      2,
+		MaxEvents:  1200,
+		AdaptiveCI: 1e12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 2 || got.Groups[0].SeedsUsed != 2 {
+		t.Fatalf("loose adaptive target changed the grid: %d cells, %d seeds",
+			len(got.Cells), got.Groups[0].SeedsUsed)
 	}
 }
 

@@ -2,13 +2,17 @@
 // EXPERIMENTS.md) and prints each resulting table. Individual experiments can
 // be selected by id; the multi-run experiments (E5, E7, E9, E10, E11) are
 // executed on the parallel batch engine, whose results are bit-identical for
-// any worker count.
+// any worker count, and can checkpoint every cell result to disk so that a
+// killed sweep resumes where it stopped.
 //
 // Example:
 //
 //	gatherbench -seeds 5                    # full suite, all cores
 //	gatherbench -only E5,E10 -seeds 8       # selected experiments
 //	gatherbench -workers 1 -timing -only E5 # sequential wall-clock baseline
+//	gatherbench -out sweep/                 # checkpoint cell results to disk
+//	gatherbench -out sweep/ -resume         # re-run only the missing cells
+//	gatherbench -adaptive-ci 500            # grow seeds until CI is tight
 package main
 
 import (
@@ -31,15 +35,57 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gatherbench", flag.ContinueOnError)
-	seeds := fs.Int("seeds", 3, "seeds per experiment cell")
-	maxEvents := fs.Int("max-events", 150000, "event budget per run")
+	seeds := fs.Int("seeds", 3, "seeds per experiment cell (must be positive)")
+	maxEvents := fs.Int("max-events", 150000, "event budget per run (must be positive)")
 	workers := fs.Int("workers", 0, "worker pool size for the batch engine (0 = all cores; results are identical for any value)")
 	timing := fs.Bool("timing", false, "print wall-clock per experiment")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	outDir := fs.String("out", "", "sweep directory: stream every cell result to <out>/<experiment> as workers finish")
+	resume := fs.Bool("resume", false, "re-use completed cells found in -out and run only the missing ones (requires -out)")
+	adaptiveCI := fs.Float64("adaptive-ci", 0, "adaptive seed scheduling: grow each cell group's seeds until the 95% CI half-width of its event count falls below this target (0 = fixed seeds)")
+	adaptiveMax := fs.Int("adaptive-max-seeds", 0, "seed cap per cell group in adaptive mode (0 = default cap)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seeds: *seeds, MaxEvents: *maxEvents, Workers: *workers}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be positive, got %d (a non-positive value would render empty tables)", *seeds)
+	}
+	if *maxEvents < 1 {
+		return fmt.Errorf("-max-events must be positive, got %d (a run needs a positive event budget)", *maxEvents)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
+	}
+	if *resume && *outDir == "" {
+		return fmt.Errorf("-resume requires -out (nothing to resume from)")
+	}
+	if *adaptiveCI < 0 {
+		return fmt.Errorf("-adaptive-ci must be non-negative, got %g", *adaptiveCI)
+	}
+	if *adaptiveMax < 0 {
+		return fmt.Errorf("-adaptive-max-seeds must be non-negative, got %d", *adaptiveMax)
+	}
+	if *adaptiveMax > 0 && *adaptiveCI == 0 {
+		return fmt.Errorf("-adaptive-max-seeds requires -adaptive-ci (it only caps adaptive scheduling)")
+	}
+	if *outDir != "" {
+		// Fail before running anything if the sweep directory is unusable.
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("-out: %w", err)
+		}
+	}
+	cfg := experiments.Config{
+		Seeds:            *seeds,
+		MaxEvents:        *maxEvents,
+		Workers:          *workers,
+		SweepDir:         *outDir,
+		Resume:           *resume,
+		AdaptiveCI:       *adaptiveCI,
+		AdaptiveMaxSeeds: *adaptiveMax,
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gatherbench: "+format+"\n", args...)
+		},
+	}
 
 	suite := experiments.Suite()
 	wanted := map[string]bool{}

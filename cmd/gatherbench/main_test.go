@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunRejectsDegenerateFlags covers the error paths of run(): flag values
+// that would silently render empty or degenerate tables must be rejected with
+// a usage error before any experiment runs.
+func TestRunRejectsDegenerateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero seeds", []string{"-seeds", "0"}, "-seeds must be positive"},
+		{"negative seeds", []string{"-seeds", "-2"}, "-seeds must be positive"},
+		{"zero max-events", []string{"-max-events", "0"}, "-max-events must be positive"},
+		{"negative max-events", []string{"-max-events", "-1"}, "-max-events must be positive"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be non-negative"},
+		{"resume without out", []string{"-resume"}, "-resume requires -out"},
+		{"negative adaptive-ci", []string{"-adaptive-ci", "-1"}, "-adaptive-ci must be non-negative"},
+		{"negative adaptive cap", []string{"-adaptive-max-seeds", "-1"}, "-adaptive-max-seeds must be non-negative"},
+		{"adaptive cap without target", []string{"-adaptive-max-seeds", "8"}, "-adaptive-max-seeds requires -adaptive-ci"},
+		{"unknown experiment", []string{"-only", "E99"}, "unknown experiment id"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q does not contain %q", tc.args, err, tc.want)
+			}
+			if out.Len() != 0 {
+				t.Fatalf("run(%v) printed tables despite the error:\n%s", tc.args, out.String())
+			}
+		})
+	}
+}
+
+func TestRunPrintsSelectedExperiments(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "e2,E3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "== E2:") || !strings.Contains(got, "== E3:") {
+		t.Fatalf("selected experiments missing from output:\n%s", got)
+	}
+	if strings.Contains(got, "== E1:") {
+		t.Fatalf("unselected experiment printed:\n%s", got)
+	}
+}
+
+// TestRunSweepOutAndResume drives the new flags end to end: -out checkpoints
+// the cells, -resume re-renders byte-identical output without re-running.
+func TestRunSweepOutAndResume(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-only", "E5", "-seeds", "2", "-max-events", "1200", "-out", dir}
+
+	var first strings.Builder
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "E5", "results.jsonl")
+	before, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatalf("store not written: %v", err)
+	}
+
+	var second strings.Builder
+	if err := run(append(args, "-resume"), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("resumed output differs:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	after, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("resume re-ran cells: store grew from %d to %d bytes", len(before), len(after))
+	}
+}
+
+func TestRunAdaptiveFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-only", "E5", "-seeds", "2", "-max-events", "1200",
+		"-adaptive-ci", "0.000001", "-adaptive-max-seeds", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "consumed 3 seeds") {
+		t.Fatalf("adaptive notes missing:\n%s", out.String())
+	}
+}

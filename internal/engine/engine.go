@@ -15,9 +15,12 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +34,13 @@ import (
 
 // DefaultAdversary is the adversary used when a Cell does not name one.
 const DefaultAdversary = "random-async"
+
+// Version identifies the simulation semantics of this engine build. Persistent
+// result stores (internal/sweep) record it with every checkpointed cell and
+// force a clean re-run on mismatch; bump it whenever a change makes previously
+// stored results non-reproducible (algorithm, adversary, geometry or seed
+// derivation changes).
+const Version = "fatgather-engine/2"
 
 // Cell is one independent simulation: a fully self-contained specification
 // whose result depends only on its own fields, never on the surrounding
@@ -78,14 +88,115 @@ func (c Cell) AdversaryName() string {
 	return c.Adversary
 }
 
+// Key returns the canonical identity string of the cell: every field that
+// influences the cell's result is folded in (explicit initial configurations
+// and custom vision models contribute a stable fingerprint). Two cells with
+// equal keys produce bit-identical results, which is what makes the key usable
+// as the resume identity in persistent sweep stores.
+func (c Cell) Key() string {
+	var b strings.Builder
+	if c.Initial != nil {
+		fmt.Fprintf(&b, "init=%s|n=%d", initialFingerprint(c.Initial), len(c.Initial))
+	} else {
+		fmt.Fprintf(&b, "wk=%s|n=%d|ws=%d", c.Workload, c.N, c.WorkloadSeed)
+	}
+	fmt.Fprintf(&b, "|alg=%s|adv=%s|as=%d|delta=%g|me=%d|snap=%d|stop=%t",
+		c.AlgorithmName(), c.AdversaryName(), c.AdversarySeed,
+		c.Delta, c.MaxEvents, c.SnapshotEvery, c.StopWhenGathered)
+	if c.Vision != nil {
+		fmt.Fprintf(&b, "|vis=%s", c.Vision.Fingerprint())
+	}
+	return b.String()
+}
+
+// initialFingerprint hashes an explicit initial configuration (exact float
+// bits, order-sensitive) into a short stable identifier for cell keys.
+func initialFingerprint(cfg config.Geometric) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range cfg {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.X))
+		_, _ = h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Y))
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Validate checks the cell specification without running it: the workload
+// kind must be known and N positive (unless an explicit Initial is given),
+// the adversary must exist, and the numeric knobs must be non-negative.
+// Run reports the same conditions, but only from inside a worker; Validate
+// lets a batch be rejected up front with errors that name the bad cell.
+func (c Cell) Validate() error {
+	if c.Initial == nil {
+		known := false
+		for _, k := range workload.Kinds() {
+			if c.Workload == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown workload kind %q", c.Workload)
+		}
+		if c.N < 1 {
+			return fmt.Errorf("N must be at least 1, got %d", c.N)
+		}
+	} else if len(c.Initial) == 0 {
+		return fmt.Errorf("empty initial configuration")
+	}
+	if c.MaxEvents < 0 {
+		return fmt.Errorf("MaxEvents must be non-negative, got %d", c.MaxEvents)
+	}
+	if c.Delta < 0 {
+		return fmt.Errorf("Delta must be non-negative, got %g", c.Delta)
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("SnapshotEvery must be non-negative, got %d", c.SnapshotEvery)
+	}
+	if _, ok := sched.Registry(1)[c.AdversaryName()]; !ok {
+		return fmt.Errorf("unknown adversary %q", c.AdversaryName())
+	}
+	return nil
+}
+
+// ValidateCells validates an expanded batch up front and returns a single
+// error naming every offending cell by index and key (nil when all cells are
+// valid).
+func ValidateCells(cells []Cell) error {
+	var bad []string
+	for i, c := range cells {
+		if err := c.Validate(); err != nil {
+			bad = append(bad, fmt.Sprintf("cell %d [%s]: %v", i, c.Key(), err))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("engine: invalid cells:\n  %s", strings.Join(bad, "\n  "))
+}
+
+// WorkloadFunc generates the initial placement for a (kind, n, seed) triple.
+// It must be deterministic in its arguments and safe for concurrent use;
+// workload.Generate is the reference implementation, and workload.Cache
+// provides a memoizing one.
+type WorkloadFunc func(kind workload.Kind, n int, seed int64) (config.Geometric, error)
+
 // Run executes the cell sequentially in the calling goroutine. This is the
 // reference (sequential) semantics that the parallel engine must reproduce
 // bit-identically.
 func (c Cell) Run() (sim.Result, error) {
+	return c.runWith(workload.Generate)
+}
+
+// runWith is Run with a pluggable workload generator (the engine wires
+// Options.Workloads through here).
+func (c Cell) runWith(gen WorkloadFunc) (sim.Result, error) {
 	initial := c.Initial
 	if initial == nil {
 		var err error
-		initial, err = workload.Generate(c.Workload, c.N, c.WorkloadSeed)
+		initial, err = gen(c.Workload, c.N, c.WorkloadSeed)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("engine: cell workload: %w", err)
 		}
@@ -127,6 +238,12 @@ type Options struct {
 	// Index order as results become available (a streaming collector). It runs
 	// on the goroutine that called Run, so it needs no locking.
 	OnResult func(CellResult)
+	// Workloads, when non-nil, replaces workload.Generate as the initial
+	// placement generator for cells without an explicit Initial. It must be
+	// deterministic and concurrency-safe (see WorkloadFunc); a memoizing
+	// workload.Cache avoids regenerating identical placements across the
+	// adversary and algorithm axes of a batch.
+	Workloads WorkloadFunc
 }
 
 func (o Options) workers(ncells int) int {
@@ -146,11 +263,33 @@ func (o Options) workers(ncells int) int {
 // Run executes every cell on a worker pool and returns the results in cell
 // order. Results are bit-identical for any worker count, because each cell's
 // randomness is self-contained.
+//
+// The expanded batch is validated up front: invalid cells (unknown workload
+// kind or adversary, N < 1, negative MaxEvents/Delta) never reach a worker
+// and instead report a CellResult.Err naming the offending cell's key.
 func Run(cells []Cell, opts Options) []CellResult {
 	n := len(cells)
 	results := make([]CellResult, n)
 	if n == 0 {
 		return results
+	}
+	gen := opts.Workloads
+	if gen == nil {
+		gen = workload.Generate
+	}
+	valid := make([]int, 0, n)
+	invalid := make([]int, 0)
+	for i := range cells {
+		if err := cells[i].Validate(); err != nil {
+			results[i] = CellResult{
+				Index: i,
+				Cell:  cells[i],
+				Err:   fmt.Errorf("engine: invalid cell [%s]: %w", cells[i].Key(), err),
+			}
+			invalid = append(invalid, i)
+			continue
+		}
+		valid = append(valid, i)
 	}
 	workers := opts.workers(n)
 
@@ -163,7 +302,7 @@ func Run(cells []Cell, opts Options) []CellResult {
 			defer wg.Done()
 			for i := range jobs {
 				start := time.Now()
-				res, err := cells[i].Run()
+				res, err := cells[i].runWith(gen)
 				results[i] = CellResult{
 					Index:   i,
 					Cell:    cells[i],
@@ -176,7 +315,10 @@ func Run(cells []Cell, opts Options) []CellResult {
 		}()
 	}
 	go func() {
-		for i := 0; i < n; i++ {
+		for _, i := range invalid {
+			done <- i // pre-filled above; the done buffer holds all n indices
+		}
+		for _, i := range valid {
 			jobs <- i
 		}
 		close(jobs)

@@ -3,8 +3,11 @@ package engine
 import (
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/vision"
 	"github.com/fatgather/fatgather/internal/workload"
 )
 
@@ -126,6 +129,112 @@ func TestCellRunErrors(t *testing.T) {
 	}
 	if _, err := (Cell{Workload: workload.KindClustered, N: 3, WorkloadSeed: 1, Adversary: "no-such-adversary", MaxEvents: 10}).Run(); err == nil {
 		t.Fatal("unknown adversary should error")
+	}
+}
+
+func TestCellKey(t *testing.T) {
+	base := Cell{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 100}
+	if base.Key() != base.Key() {
+		t.Fatal("Key is not deterministic")
+	}
+	// Every result-relevant field must move the key.
+	variants := []Cell{
+		{Workload: workload.KindRing, N: 4, WorkloadSeed: 1, MaxEvents: 100},
+		{Workload: workload.KindClustered, N: 5, WorkloadSeed: 1, MaxEvents: 100},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 2, MaxEvents: 100},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 200},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 100, Adversary: "fair"},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 100, AdversarySeed: 7},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 100, Delta: 0.5},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 100, SnapshotEvery: 10},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 100, StopWhenGathered: true},
+		{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1, MaxEvents: 100, Vision: vision.New(vision.Options{Radius: 2})},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, v := range variants {
+		k := v.Key()
+		if seen[k] {
+			t.Fatalf("variant %d collides with a previous key: %s", i, k)
+		}
+		seen[k] = true
+	}
+	// Explicit initial configurations are keyed by content, not identity.
+	a := Cell{Initial: workload.Ring(4, 0), MaxEvents: 100}
+	b := Cell{Initial: workload.Ring(4, 0), MaxEvents: 100}
+	c := Cell{Initial: workload.Ring(5, 0), MaxEvents: 100}
+	if a.Key() != b.Key() {
+		t.Fatal("equal initial configurations must share a key")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("different initial configurations must not share a key")
+	}
+}
+
+func TestValidateCells(t *testing.T) {
+	good := Cell{Workload: workload.KindClustered, N: 3, WorkloadSeed: 1, MaxEvents: 100}
+	if err := ValidateCells([]Cell{good}); err != nil {
+		t.Fatalf("valid cell rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cell Cell
+		want string
+	}{
+		{"unknown workload", Cell{Workload: "bogus", N: 3}, "unknown workload"},
+		{"zero n", Cell{Workload: workload.KindClustered, N: 0}, "N must be"},
+		{"negative max events", Cell{Workload: workload.KindClustered, N: 3, MaxEvents: -1}, "MaxEvents"},
+		{"negative delta", Cell{Workload: workload.KindClustered, N: 3, Delta: -0.5}, "Delta"},
+		{"unknown adversary", Cell{Workload: workload.KindClustered, N: 3, Adversary: "bogus"}, "unknown adversary"},
+		{"empty initial", Cell{Initial: config.Geometric{}}, "empty initial"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateCells([]Cell{good, tc.cell})
+			if err == nil {
+				t.Fatalf("invalid cell accepted: %+v", tc.cell)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the defect %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "cell 1 [") {
+				t.Fatalf("error %q does not name the offending cell", err)
+			}
+		})
+	}
+}
+
+// TestRunFailsFastOnInvalidCells pins that invalid cells never reach a
+// worker: their error names the cell key, and the valid cells of the same
+// batch still run and stream in order.
+func TestRunFailsFastOnInvalidCells(t *testing.T) {
+	cells := []Cell{
+		{Workload: workload.KindClustered, N: 3, WorkloadSeed: 1, MaxEvents: 300},
+		{Workload: "bogus", N: 3, MaxEvents: 300},
+		{Workload: workload.KindClustered, N: 0, WorkloadSeed: 1, MaxEvents: 300},
+		{Workload: workload.KindClustered, N: 3, WorkloadSeed: 2, MaxEvents: 300},
+	}
+	var order []int
+	results := Run(cells, Options{Workers: 2, OnResult: func(r CellResult) {
+		order = append(order, r.Index)
+	}})
+	for _, i := range []int{1, 2} {
+		if results[i].Err == nil {
+			t.Fatalf("invalid cell %d did not error", i)
+		}
+		if !strings.Contains(results[i].Err.Error(), "invalid cell ["+cells[i].Key()+"]") {
+			t.Fatalf("cell %d error %q does not name its key", i, results[i].Err)
+		}
+	}
+	for _, i := range []int{0, 3} {
+		if results[i].Err != nil {
+			t.Fatalf("valid cell %d failed: %v", i, results[i].Err)
+		}
+		if results[i].Result.Events <= 0 {
+			t.Fatalf("valid cell %d did not run", i)
+		}
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Fatalf("OnResult order %v with invalid cells", order)
 	}
 }
 

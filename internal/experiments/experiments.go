@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"github.com/fatgather/fatgather/internal/baseline"
@@ -17,6 +18,7 @@ import (
 	"github.com/fatgather/fatgather/internal/metrics"
 	"github.com/fatgather/fatgather/internal/sched"
 	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/sweep"
 	"github.com/fatgather/fatgather/internal/vision"
 	"github.com/fatgather/fatgather/internal/workload"
 )
@@ -69,6 +71,25 @@ type Config struct {
 	// (E5, E7, E9, E10, E11); <=0 means GOMAXPROCS. Results are identical
 	// for every worker count.
 	Workers int
+	// SweepDir, when non-empty, makes the multi-run experiments stream every
+	// cell result to a per-experiment store under this directory
+	// (SweepDir/E5, SweepDir/E7, ...) as workers finish, and — together with
+	// Resume — reuse completed cells on restart. Tables are byte-identical to
+	// an uninterrupted in-memory run.
+	SweepDir string
+	// Resume reuses the completed cells found in SweepDir; without it an
+	// existing store is reset and the sweep starts clean.
+	Resume bool
+	// AdaptiveCI, when positive, enables adaptive seed scheduling: each cell
+	// group keeps receiving seed replicas until the 95% CI half-width of its
+	// event count falls to AdaptiveCI, or the group hits AdaptiveMaxSeeds.
+	// The per-group seed consumption is recorded in the table notes.
+	AdaptiveCI float64
+	// AdaptiveMaxSeeds caps the replicas per group (default sweep.DefaultMaxSeeds).
+	AdaptiveMaxSeeds int
+	// Warnf, when non-nil, receives sweep-store warnings (corrupt records
+	// skipped on load, version mismatches, checkpoint failures).
+	Warnf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +105,80 @@ func (c Config) withDefaults() Config {
 // engineOpts is the engine configuration the drivers share.
 func (c Config) engineOpts() engine.Options {
 	return engine.Options{Workers: c.Workers}
+}
+
+func (c Config) warnf(format string, args ...any) {
+	if c.Warnf != nil {
+		c.Warnf(format, args...)
+	}
+}
+
+// runCells executes an experiment's cell grid through the resumable sweep
+// layer: workload generation is memoized per (kind, n, seed), results stream
+// to SweepDir/<id> when checkpointing is on, and adaptive seed scheduling
+// grows the grid when AdaptiveCI is set. The returned results are identical
+// to engine.Run on the same cells (plus any adaptive replicas, reported in
+// the GroupSeeds slice, which is nil for fixed-seed runs).
+func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, []sweep.GroupSeeds) {
+	opts := sweep.Options{Engine: c.engineOpts(), Cache: workload.NewCache()}
+	if c.SweepDir != "" {
+		st, err := sweep.Open(filepath.Join(c.SweepDir, id))
+		if err != nil {
+			// Checkpointing is an accelerator, never a gate: warn and run the
+			// sweep in memory.
+			c.warnf("experiments: %s: %v (running without checkpoints)", id, err)
+		} else {
+			defer st.Close()
+			if !c.Resume {
+				if rerr := st.Reset(); rerr != nil {
+					c.warnf("experiments: %s: %v", id, rerr)
+				}
+			}
+			for _, w := range st.Warnings() {
+				c.warnf("experiments: %s: %s", id, w)
+			}
+			opts.Store = st
+		}
+	}
+	if c.AdaptiveCI > 0 {
+		results, infos, stats := sweep.RunAdaptive(cells, opts, sweep.Adaptive{
+			TargetCI: c.AdaptiveCI,
+			MaxSeeds: c.AdaptiveMaxSeeds,
+		})
+		if stats.AppendErrs > 0 {
+			c.warnf("experiments: %s: %d results could not be checkpointed", id, stats.AppendErrs)
+		}
+		return results, infos
+	}
+	results, stats := sweep.Run(cells, opts)
+	if stats.AppendErrs > 0 {
+		c.warnf("experiments: %s: %d results could not be checkpointed", id, stats.AppendErrs)
+	}
+	return results, nil
+}
+
+// collect folds cell results into groups in cell order (the streaming
+// Collector fed after the fact — identical grouping either way).
+func collect(results []engine.CellResult, keyOf func(engine.CellResult) string) []engine.Group {
+	col := engine.NewCollector(keyOf)
+	for _, r := range results {
+		col.Add(r)
+	}
+	return col.Groups()
+}
+
+// adaptiveNotes records per-group seed consumption on a table when adaptive
+// seed scheduling ran.
+func adaptiveNotes(t *Table, infos []sweep.GroupSeeds) {
+	for _, g := range infos {
+		state := "converged"
+		if !g.Converged {
+			state = "hit seed cap"
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"adaptive: %s consumed %d seeds (95%% CI half-width %.1f, %s)",
+			g.Key, g.Seeds, g.HalfWidth, state))
+	}
 }
 
 // snapshotEvery is the configuration-snapshot cadence shared by every
@@ -240,9 +335,11 @@ func E5GatheringVsN(cfg Config, ns []int) Table {
 		Title:   "Theorem 26 — gathering success and cost vs n (random + clustered workloads)",
 		Columns: []string{"n", "runs", "gathered", "all-terminated", "median events", "median cycles", "median distance"},
 	}
-	_, groups := engine.Aggregate(e5Cells(cfg, ns), cfg.engineOpts(), func(r engine.CellResult) string {
+	results, infos := cfg.runCells("E5", e5Cells(cfg, ns))
+	groups := collect(results, func(r engine.CellResult) string {
 		return fmt.Sprintf("%d", r.Cell.N)
 	})
+	adaptiveNotes(&t, infos)
 	for _, g := range groups {
 		t.Rows = append(t.Rows, []string{
 			g.Key,
@@ -340,7 +437,8 @@ func E7PhaseTwo(cfg Config, ns []int) Table {
 			})
 		}
 	}
-	results := engine.Run(cells, cfg.engineOpts())
+	results, infos := cfg.runCells("E7", cells)
+	adaptiveNotes(&t, infos)
 	for _, n := range ns {
 		var ok []bool
 		var when []int
@@ -428,9 +526,11 @@ func E9Adversaries(cfg Config, n int) Table {
 			})
 		}
 	}
-	_, groups := engine.Aggregate(cells, cfg.engineOpts(), func(r engine.CellResult) string {
+	results, infos := cfg.runCells("E9", cells)
+	groups := collect(results, func(r engine.CellResult) string {
 		return r.Cell.AdversaryName()
 	})
+	adaptiveNotes(&t, infos)
 	for _, g := range groups {
 		t.Rows = append(t.Rows, []string{
 			g.Key, fmt.Sprintf("%d", g.Runs),
@@ -456,9 +556,11 @@ func E10Baselines(cfg Config, ns []int) Table {
 		Title:   "Baselines — connected / gathered rates per algorithm and n (clustered workloads)",
 		Columns: []string{"algorithm", "n", "runs", "connected", "gathered (conn+fully visible)"},
 	}
-	_, groups := engine.Aggregate(e10Cells(cfg, ns, algs), cfg.engineOpts(), func(r engine.CellResult) string {
+	results, infos := cfg.runCells("E10", e10Cells(cfg, ns, algs))
+	groups := collect(results, func(r engine.CellResult) string {
 		return fmt.Sprintf("%s|%d", r.Cell.AlgorithmName(), r.Cell.N)
 	})
+	adaptiveNotes(&t, infos)
 	for _, g := range groups {
 		t.Rows = append(t.Rows, []string{
 			g.Sample.AlgorithmName(), fmt.Sprintf("%d", g.Sample.N), fmt.Sprintf("%d", g.Runs),
@@ -514,9 +616,11 @@ func E11Delta(cfg Config, n int) Table {
 			})
 		}
 	}
-	_, groups := engine.Aggregate(cells, cfg.engineOpts(), func(r engine.CellResult) string {
+	results, infos := cfg.runCells("E11", cells)
+	groups := collect(results, func(r engine.CellResult) string {
 		return fmt.Sprintf("%.2f", r.Cell.Delta)
 	})
+	adaptiveNotes(&t, infos)
 	for _, g := range groups {
 		t.Rows = append(t.Rows, []string{
 			g.Key, fmt.Sprintf("%d", g.Runs),

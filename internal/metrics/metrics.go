@@ -61,6 +61,29 @@ func SummarizeInts(xs []int) Summary {
 	return Summarize(fs)
 }
 
+// CI95HalfWidth returns the half-width of the normal-approximation 95%
+// confidence interval for the mean of the sample: 1.96 * s / sqrt(n), with s
+// the sample (n-1) standard deviation. Samples with fewer than two
+// observations have no interval and return +Inf, which is what adaptive seed
+// schedulers want: such a group can never be considered converged.
+func CI95HalfWidth(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	variance := 0.0
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(n - 1)
+	return 1.96 * math.Sqrt(variance/float64(n))
+}
+
 // SuccessRate returns the fraction of true values (0 for an empty sample).
 func SuccessRate(outcomes []bool) float64 {
 	if len(outcomes) == 0 {

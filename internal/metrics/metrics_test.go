@@ -32,6 +32,26 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestCI95HalfWidth(t *testing.T) {
+	if !math.IsInf(CI95HalfWidth(nil), 1) || !math.IsInf(CI95HalfWidth([]float64{3}), 1) {
+		t.Fatal("samples under two observations must have an infinite interval")
+	}
+	if got := CI95HalfWidth([]float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant sample has half-width %g, want 0", got)
+	}
+	// {1,2,3,4,5}: sample stddev sqrt(2.5), n=5 -> 1.96*sqrt(2.5/5) = 1.96*sqrt(0.5).
+	want := 1.96 * math.Sqrt(0.5)
+	if got := CI95HalfWidth([]float64{1, 2, 3, 4, 5}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("half-width %g, want %g", got, want)
+	}
+	// More observations tighten the interval.
+	a := CI95HalfWidth([]float64{1, 9, 1, 9})
+	b := CI95HalfWidth([]float64{1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9})
+	if b >= a {
+		t.Fatalf("interval did not tighten: %g -> %g", a, b)
+	}
+}
+
 func TestSuccessRate(t *testing.T) {
 	if SuccessRate(nil) != 0 {
 		t.Fatal("empty rate should be 0")

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/metrics"
+	"github.com/fatgather/fatgather/internal/sim"
+)
+
+// DefaultMaxSeeds is the per-group seed cap when Adaptive.MaxSeeds is unset.
+const DefaultMaxSeeds = 32
+
+// Adaptive configures adaptive seed scheduling: after the initial replicas,
+// every cell group (same cell modulo seeds) keeps receiving one extra seed
+// replica per round until the 95% confidence interval half-width of Metric
+// over the group's successful runs falls to TargetCI or below, or the group
+// reaches MaxSeeds replicas.
+type Adaptive struct {
+	// TargetCI is the 95% CI half-width to reach (same unit as Metric).
+	TargetCI float64
+	// MaxSeeds caps the replicas per group (default DefaultMaxSeeds). The
+	// initial replicas count against the cap.
+	MaxSeeds int
+	// Metric extracts the observable whose confidence interval is tracked;
+	// nil means the event count (the cost measure every experiment reports).
+	Metric func(sim.Result) float64
+}
+
+func (a Adaptive) withDefaults() Adaptive {
+	if a.MaxSeeds <= 0 {
+		a.MaxSeeds = DefaultMaxSeeds
+	}
+	if a.Metric == nil {
+		a.Metric = func(r sim.Result) float64 { return float64(r.Events) }
+	}
+	return a
+}
+
+// GroupSeeds records what adaptive scheduling did to one cell group.
+type GroupSeeds struct {
+	// Key is the group key: the cell key with both seeds zeroed.
+	Key string
+	// Seeds is the number of seed replicas the group actually consumed.
+	Seeds int
+	// HalfWidth is the final 95% CI half-width of the metric over the
+	// group's successful runs (+Inf with fewer than two successes).
+	HalfWidth float64
+	// Converged reports whether the group reached the target (false means it
+	// stopped at the seed cap instead).
+	Converged bool
+}
+
+// groupKeyOf collapses a cell to its group identity: the cell key with the
+// seed coordinates removed, so replicas of the same grid point share a group.
+func groupKeyOf(c engine.Cell) string {
+	c.WorkloadSeed = 0
+	c.AdversarySeed = 0
+	return c.Key()
+}
+
+// adaptiveGroup is the running state of one cell group.
+type adaptiveGroup struct {
+	key     string
+	sample  engine.Cell
+	values  []float64
+	seeds   int
+	maxSeed int64
+}
+
+// RunAdaptive runs the cells with adaptive seed scheduling on top of the
+// resumable store. The input cells are the initial replicas; extra replicas
+// are derived deterministically (workload seed maxSeed+1, adversary seed via
+// engine.DeriveSeed, exactly like Batch.Cells), so an adaptive sweep is as
+// reproducible — and as resumable — as a fixed one. Results are returned in
+// deterministic order: the input cells first, then each round's extra
+// replicas in group order; OnResult streams them in that same order.
+func RunAdaptive(cells []engine.Cell, opts Options, ad Adaptive) ([]engine.CellResult, []GroupSeeds, Stats) {
+	ad = ad.withDefaults()
+	var (
+		all     []engine.CellResult
+		stats   Stats
+		order   []string
+		groups  = make(map[string]*adaptiveGroup)
+		pending = cells
+	)
+	observe := func(r engine.CellResult) {
+		key := groupKeyOf(r.Cell)
+		g, ok := groups[key]
+		if !ok {
+			g = &adaptiveGroup{key: key, sample: r.Cell}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.seeds++
+		if r.Cell.WorkloadSeed > g.maxSeed {
+			g.maxSeed = r.Cell.WorkloadSeed
+		}
+		if r.Err == nil {
+			g.values = append(g.values, ad.Metric(r.Result))
+		}
+	}
+	userOnResult := opts.OnResult
+	offset := 0
+	if userOnResult != nil {
+		opts.OnResult = func(r engine.CellResult) {
+			r.Index += offset // round-local to global
+			userOnResult(r)
+		}
+	}
+	for len(pending) > 0 {
+		offset = len(all)
+		res, st := Run(pending, opts)
+		stats.Executed += st.Executed
+		stats.Restored += st.Restored
+		stats.AppendErrs += st.AppendErrs
+		for i := range res {
+			res[i].Index = len(all) + i // re-index from round-local to global
+			observe(res[i])
+		}
+		all = append(all, res...)
+
+		pending = pending[:0:0]
+		for _, key := range order {
+			g := groups[key]
+			if g.seeds >= ad.MaxSeeds {
+				continue
+			}
+			if metrics.CI95HalfWidth(g.values) <= ad.TargetCI {
+				continue
+			}
+			if len(g.values) == 0 && g.seeds >= 2 {
+				// Every replica so far failed to run; more seeds cannot
+				// tighten an interval that has no observations.
+				continue
+			}
+			next := g.sample
+			next.WorkloadSeed = g.maxSeed + 1
+			next.AdversarySeed = engine.DeriveSeed(next.WorkloadSeed,
+				engine.StreamOf(string(next.Workload), next.AdversaryName(), next.AlgorithmName()),
+				int64(next.N))
+			pending = append(pending, next)
+		}
+	}
+	infos := make([]GroupSeeds, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		hw := metrics.CI95HalfWidth(g.values)
+		infos = append(infos, GroupSeeds{
+			Key:       key,
+			Seeds:     g.seeds,
+			HalfWidth: hw,
+			Converged: hw <= ad.TargetCI,
+		})
+	}
+	return all, infos, stats
+}

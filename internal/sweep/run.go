@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// Options configures a resumable sweep run.
+type Options struct {
+	// Engine is the underlying engine configuration (worker count, workload
+	// hook). Its OnResult is ignored — use Options.OnResult, which also sees
+	// the cells restored from the store.
+	Engine engine.Options
+	// Store, when non-nil, is consulted for completed cells before running
+	// and receives every fresh result as workers finish.
+	Store *Store
+	// Cache, when non-nil, memoizes workload generation per (kind, n, seed)
+	// for the cells that actually run (ignored when Engine.Workloads is set).
+	Cache *workload.Cache
+	// OnResult, when non-nil, is invoked once per cell in strictly increasing
+	// Index order — restored and freshly computed cells interleaved exactly as
+	// an uninterrupted run would stream them. It runs on the calling
+	// goroutine.
+	OnResult func(engine.CellResult)
+}
+
+// Stats reports what a resumable run actually did.
+type Stats struct {
+	// Executed is the number of cells that ran in this process.
+	Executed int
+	// Restored is the number of cells served from the store.
+	Restored int
+	// AppendErrs counts results that could not be checkpointed (the run
+	// continues; those cells simply re-run on resume).
+	AppendErrs int
+}
+
+// Run executes the cells like engine.Run, but consults the store first: cells
+// whose key is already checkpointed are restored instead of re-run, and every
+// fresh result is streamed to the store as its worker finishes. The returned
+// results (and the OnResult stream) are identical to an uninterrupted
+// engine.Run — byte-identical tables — while a resumed run executes only the
+// missing cells.
+func Run(cells []engine.Cell, opts Options) ([]engine.CellResult, Stats) {
+	n := len(cells)
+	results := make([]engine.CellResult, n)
+	var stats Stats
+
+	keys := make([]string, n)
+	missing := make([]int, 0, n)
+	for i, c := range cells {
+		keys[i] = c.Key()
+		if opts.Store != nil {
+			if st, ok := opts.Store.Lookup(keys[i]); ok {
+				results[i] = engine.CellResult{
+					Index:   i,
+					Cell:    c,
+					Result:  st.Result,
+					Err:     st.Err,
+					Elapsed: st.Elapsed,
+				}
+				stats.Restored++
+				continue
+			}
+		}
+		missing = append(missing, i)
+	}
+	stats.Executed = len(missing)
+
+	eopts := opts.Engine
+	if eopts.Workloads == nil && opts.Cache != nil {
+		eopts.Workloads = opts.Cache.Generate
+	}
+
+	// Stream restored and fresh results interleaved in global cell order:
+	// everything before a fresh cell is either restored (pre-filled above) or
+	// an earlier fresh cell (already streamed, since the engine reports the
+	// missing subset in increasing order).
+	emitted := 0
+	emitThrough := func(limit int) {
+		for ; emitted < limit; emitted++ {
+			if opts.OnResult != nil {
+				opts.OnResult(results[emitted])
+			}
+		}
+	}
+
+	sub := make([]engine.Cell, len(missing))
+	for k, i := range missing {
+		sub[k] = cells[i]
+	}
+	eopts.OnResult = func(r engine.CellResult) {
+		g := missing[r.Index]
+		r.Index = g
+		results[g] = r
+		if opts.Store != nil {
+			if err := opts.Store.Append(keys[g], r); err != nil {
+				stats.AppendErrs++
+			}
+		}
+		emitThrough(g + 1)
+	}
+	engine.Run(sub, eopts)
+	emitThrough(n)
+	return results, stats
+}

@@ -1,0 +1,332 @@
+// Package sweep is the persistent, resumable layer over the batch engine:
+// it streams every engine.CellResult to an on-disk JSONL store as workers
+// finish, and on restart loads the completed-cell set so that only the
+// missing cells are re-run — with tables byte-identical to an uninterrupted
+// run. On top of the store it provides a memoizing workload cache hook and
+// adaptive seed scheduling (grow each cell group's seed replicas until the
+// metric's 95% confidence interval is tight enough, or a cap is reached).
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/core"
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/sim"
+)
+
+// SchemaVersion is the version of the JSONL record layout. Records written
+// with a different schema (or by a different engine.Version) force a clean
+// re-run: stale results must never leak into a resumed sweep.
+const SchemaVersion = 1
+
+// resultsFile is the name of the record file inside a sweep directory.
+const resultsFile = "results.jsonl"
+
+// record is one JSONL line: a completed cell keyed by its engine cell key,
+// stamped with the schema and engine versions that produced it.
+type record struct {
+	Schema  int           `json:"schema"`
+	Engine  string        `json:"engine"`
+	Key     string        `json:"key"`
+	Elapsed int64         `json:"elapsed_ns"`
+	Err     string        `json:"err,omitempty"`
+	Result  *resultRecord `json:"result,omitempty"`
+}
+
+// resultRecord mirrors sim.Result field-for-field with JSON-able types
+// (the error becomes a string). encoding/json round-trips float64 exactly
+// (shortest representation that parses back to the same bits), so a restored
+// result renders byte-identical tables.
+type resultRecord struct {
+	Outcome           int                    `json:"outcome"`
+	Algorithm         string                 `json:"algorithm"`
+	Adversary         string                 `json:"adversary"`
+	N                 int                    `json:"n"`
+	Events            int                    `json:"events"`
+	Cycles            int                    `json:"cycles"`
+	TerminatedCount   int                    `json:"terminated_count"`
+	Collisions        int                    `json:"collisions"`
+	Stops             int                    `json:"stops"`
+	Arrivals          int                    `json:"arrivals"`
+	TotalDistance     float64                `json:"total_distance"`
+	Final             config.Geometric       `json:"final,omitempty"`
+	Milestones        sim.Milestones         `json:"milestones"`
+	StateVisits       map[core.AlgState]int  `json:"state_visits,omitempty"`
+	HullAreaSeries    []float64              `json:"hull_area_series,omitempty"`
+	SpreadSeries      []float64              `json:"spread_series,omitempty"`
+	ConnectedAtEnd    bool                   `json:"connected_at_end"`
+	FullyVisibleAtEnd bool                   `json:"fully_visible_at_end"`
+	Err               string                 `json:"err,omitempty"`
+}
+
+func toResultRecord(r sim.Result) *resultRecord {
+	out := &resultRecord{
+		Outcome:           int(r.Outcome),
+		Algorithm:         r.Algorithm,
+		Adversary:         r.Adversary,
+		N:                 r.N,
+		Events:            r.Events,
+		Cycles:            r.Cycles,
+		TerminatedCount:   r.TerminatedCount,
+		Collisions:        r.Collisions,
+		Stops:             r.Stops,
+		Arrivals:          r.Arrivals,
+		TotalDistance:     r.TotalDistance,
+		Final:             r.Final,
+		Milestones:        r.Milestones,
+		StateVisits:       r.StateVisits,
+		HullAreaSeries:    r.HullAreaSeries,
+		SpreadSeries:      r.SpreadSeries,
+		ConnectedAtEnd:    r.ConnectedAtEnd,
+		FullyVisibleAtEnd: r.FullyVisibleAtEnd,
+	}
+	if r.Err != nil {
+		out.Err = r.Err.Error()
+	}
+	return out
+}
+
+func (r *resultRecord) simResult() sim.Result {
+	out := sim.Result{
+		Outcome:           sim.Outcome(r.Outcome),
+		Algorithm:         r.Algorithm,
+		Adversary:         r.Adversary,
+		N:                 r.N,
+		Events:            r.Events,
+		Cycles:            r.Cycles,
+		TerminatedCount:   r.TerminatedCount,
+		Collisions:        r.Collisions,
+		Stops:             r.Stops,
+		Arrivals:          r.Arrivals,
+		TotalDistance:     r.TotalDistance,
+		Final:             r.Final,
+		Milestones:        r.Milestones,
+		StateVisits:       r.StateVisits,
+		HullAreaSeries:    r.HullAreaSeries,
+		SpreadSeries:      r.SpreadSeries,
+		ConnectedAtEnd:    r.ConnectedAtEnd,
+		FullyVisibleAtEnd: r.FullyVisibleAtEnd,
+	}
+	if r.Err != "" {
+		out.Err = errors.New(r.Err)
+	}
+	return out
+}
+
+// Stored is a completed cell loaded from (or just written to) the store.
+type Stored struct {
+	Result  sim.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// Store is an append-only JSONL checkpoint of completed sweep cells inside a
+// sweep directory. Opening a store loads every readable record; corrupt or
+// truncated lines (a sweep killed mid-write) are skipped with a warning and
+// the file is compacted, so the cells they described simply re-run. Records
+// written under a different schema or engine version discard the whole file:
+// a version mismatch forces a clean re-run.
+//
+// Store is safe for concurrent use, although the engine's in-order streaming
+// collector only ever appends from one goroutine.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	path     string
+	f        *os.File
+	done     map[string]Stored
+	warnings []string
+}
+
+// Open creates (if needed) the sweep directory and loads the completed-cell
+// set from its record file. The returned store is ready for Lookup and
+// Append; Close releases the file handle.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: create dir: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		path: filepath.Join(dir, resultsFile),
+		done: make(map[string]Stored),
+	}
+	good, dirty, err := s.load()
+	if err != nil {
+		return nil, err
+	}
+	if dirty {
+		// Compact: rewrite only the good records, atomically, so a partial
+		// trailing line never corrupts the records appended after it.
+		if err := s.rewrite(good); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// load reads the record file (if any) into s.done. It returns the raw good
+// lines (for compaction) and whether the file needs rewriting: any corrupt
+// line, or any record from another schema/engine version (which additionally
+// discards everything loaded so far — clean re-run).
+func (s *Store) load() (good []string, dirty bool, err error) {
+	data, err := os.ReadFile(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: read store: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec record
+		if uerr := json.Unmarshal([]byte(line), &rec); uerr != nil || rec.Key == "" {
+			s.warnings = append(s.warnings,
+				fmt.Sprintf("%s:%d: skipping corrupt record (cell will re-run)", s.path, i+1))
+			dirty = true
+			continue
+		}
+		if rec.Schema != SchemaVersion || rec.Engine != engine.Version {
+			s.warnings = append(s.warnings, fmt.Sprintf(
+				"%s: schema/engine mismatch (have schema %d engine %q, want schema %d engine %q): discarding store, clean re-run",
+				s.path, rec.Schema, rec.Engine, SchemaVersion, engine.Version))
+			s.done = make(map[string]Stored)
+			return nil, true, nil
+		}
+		s.done[rec.Key] = rec.stored()
+		good = append(good, line)
+	}
+	return good, dirty, nil
+}
+
+func (rec record) stored() Stored {
+	st := Stored{Elapsed: time.Duration(rec.Elapsed)}
+	if rec.Err != "" {
+		st.Err = errors.New(rec.Err)
+	}
+	if rec.Result != nil {
+		st.Result = rec.Result.simResult()
+	}
+	return st
+}
+
+// rewrite atomically replaces the record file with the given lines.
+func (s *Store) rewrite(lines []string) error {
+	tmp := s.path + ".tmp"
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("sweep: compact store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("sweep: compact store: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the stored result for a cell key.
+func (s *Store) Lookup(key string) (Stored, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.done[key]
+	return st, ok
+}
+
+// Append streams one completed cell to disk and to the in-memory
+// completed-cell set. The record reaches the operating system before Append
+// returns, so a killed process loses at most the line being written.
+func (s *Store) Append(key string, r engine.CellResult) error {
+	rec := record{
+		Schema:  SchemaVersion,
+		Engine:  engine.Version,
+		Key:     key,
+		Elapsed: int64(r.Elapsed),
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	} else {
+		rec.Result = toResultRecord(r.Result)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: encode record: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("sweep: store is closed")
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: append record: %w", err)
+	}
+	s.done[key] = rec.stored()
+	return nil
+}
+
+// Done returns the number of completed cells the store knows about.
+func (s *Store) Done() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Warnings returns the problems encountered while loading the store
+// (corrupt lines skipped, version mismatches).
+func (s *Store) Warnings() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.warnings...)
+}
+
+// Path returns the record file path (useful in logs and tests).
+func (s *Store) Path() string { return s.path }
+
+// Reset discards every stored record: the next run is a clean sweep.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("sweep: store is closed")
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("sweep: reset store: %w", err)
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("sweep: reset store: %w", err)
+	}
+	s.done = make(map[string]Stored)
+	return nil
+}
+
+// Close releases the store's file handle. Lookup keeps working; Append and
+// Reset fail after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,302 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// smallCells is a fast heterogeneous batch for store tests.
+func smallCells(seeds int) []engine.Cell {
+	return engine.Batch{
+		Workloads:   []workload.Kind{workload.KindClustered, workload.KindRing},
+		Ns:          []int{3, 4},
+		Adversaries: []string{"random-async", "stop-happy"},
+		Seeds:       seeds,
+		MaxEvents:   400,
+	}.Cells()
+}
+
+// sameResult compares two cell results through the store's own JSON encoding,
+// which is exactly the fidelity the resume contract promises (errors compare
+// by message).
+func sameResult(t *testing.T, label string, a, b engine.CellResult) {
+	t.Helper()
+	if (a.Err == nil) != (b.Err == nil) {
+		t.Fatalf("%s: err %v vs %v", label, a.Err, b.Err)
+	}
+	if a.Err != nil && a.Err.Error() != b.Err.Error() {
+		t.Fatalf("%s: err %q vs %q", label, a.Err, b.Err)
+	}
+	ja, err := json.Marshal(toResultRecord(a.Result))
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", label, err)
+	}
+	jb, err := json.Marshal(toResultRecord(b.Result))
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", label, err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("%s: results differ:\n%s\nvs\n%s", label, ja, jb)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	cells := smallCells(1)
+	results := engine.Run(cells, engine.Options{})
+
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if err := st.Append(cells[i].Key(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Done() != len(cells) {
+		t.Fatalf("Done = %d, want %d", st.Done(), len(cells))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(re.Warnings()) != 0 {
+		t.Fatalf("clean store produced warnings: %v", re.Warnings())
+	}
+	if re.Done() != len(cells) {
+		t.Fatalf("reloaded Done = %d, want %d", re.Done(), len(cells))
+	}
+	for i, c := range cells {
+		got, ok := re.Lookup(c.Key())
+		if !ok {
+			t.Fatalf("cell %d [%s] missing after reload", i, c.Key())
+		}
+		sameResult(t, c.Key(),
+			engine.CellResult{Result: got.Result, Err: got.Err}, results[i])
+		if got.Elapsed != results[i].Elapsed {
+			t.Fatalf("cell %d elapsed %v vs %v", i, got.Elapsed, results[i].Elapsed)
+		}
+	}
+}
+
+func TestStoreSkipsCorruptLines(t *testing.T) {
+	cells := smallCells(1)
+	results := engine.Run(cells[:3], engine.Options{})
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if err := st.Append(cells[i].Key(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Corrupt the middle line.
+	data, err := os.ReadFile(st.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = "{\"schema\":1,\"key\":garbage\n"
+	if err := os.WriteFile(st.Path(), []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Done() != 2 {
+		t.Fatalf("Done = %d after corruption, want 2", re.Done())
+	}
+	warns := re.Warnings()
+	if len(warns) != 1 || !strings.Contains(warns[0], "corrupt") {
+		t.Fatalf("expected one corrupt-line warning, got %v", warns)
+	}
+	// The skipped cell is simply missing, so a resume re-runs it.
+	if _, ok := re.Lookup(cells[1].Key()); ok {
+		t.Fatal("corrupt record should not resolve")
+	}
+	// The file was compacted: reopening is clean.
+	re.Close()
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if len(again.Warnings()) != 0 || again.Done() != 2 {
+		t.Fatalf("compacted store not clean: %d done, warnings %v", again.Done(), again.Warnings())
+	}
+}
+
+func TestStoreTruncatedTrailingLine(t *testing.T) {
+	cells := smallCells(1)
+	results := engine.Run(cells[:2], engine.Options{})
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if err := st.Append(cells[i].Key(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Simulate a kill mid-write: cut the file in the middle of the last line.
+	data, err := os.ReadFile(st.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.Path(), data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Done() != 1 {
+		t.Fatalf("Done = %d after truncation, want 1", re.Done())
+	}
+	if len(re.Warnings()) == 0 {
+		t.Fatal("expected a warning for the truncated line")
+	}
+	// Appending after compaction must yield a well-formed file.
+	if err := re.Append(cells[1].Key(), results[1]); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if len(again.Warnings()) != 0 || again.Done() != 2 {
+		t.Fatalf("store not clean after truncate+append: %d done, warnings %v", again.Done(), again.Warnings())
+	}
+}
+
+func TestStoreSchemaMismatchForcesCleanRerun(t *testing.T) {
+	cells := smallCells(1)
+	results := engine.Run(cells[:2], engine.Options{})
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if err := st.Append(cells[i].Key(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Rewrite the first record as if produced by an older engine.
+	data, err := os.ReadFile(st.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), engine.Version, "fatgather-engine/0", 1)
+	if mutated == string(data) {
+		t.Fatal("test setup: engine version not found in store file")
+	}
+	if err := os.WriteFile(st.Path(), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Done() != 0 {
+		t.Fatalf("Done = %d after version mismatch, want 0 (clean re-run)", re.Done())
+	}
+	warns := re.Warnings()
+	if len(warns) == 0 || !strings.Contains(warns[0], "mismatch") {
+		t.Fatalf("expected mismatch warning, got %v", warns)
+	}
+	// The stale file was discarded on disk too.
+	data, err = os.ReadFile(re.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("stale store file not discarded: %d bytes remain", len(data))
+	}
+}
+
+func TestStoreReset(t *testing.T) {
+	cells := smallCells(1)
+	results := engine.Run(cells[:1], engine.Options{})
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(cells[0].Key(), results[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Done() != 0 {
+		t.Fatalf("Done = %d after Reset, want 0", st.Done())
+	}
+	if _, ok := st.Lookup(cells[0].Key()); ok {
+		t.Fatal("Lookup succeeded after Reset")
+	}
+	if err := st.Append(cells[0].Key(), results[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st.Done() != 1 {
+		t.Fatalf("Done = %d after re-append, want 1", st.Done())
+	}
+}
+
+func TestStoreErroredCellRoundTrip(t *testing.T) {
+	bad := engine.Cell{Workload: "bogus", N: 3, MaxEvents: 10}
+	res := engine.Run([]engine.Cell{bad}, engine.Options{})
+	if res[0].Err == nil {
+		t.Fatal("expected an error result")
+	}
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(bad.Key(), res[0]); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok := re.Lookup(bad.Key())
+	if !ok {
+		t.Fatal("errored cell not stored")
+	}
+	if got.Err == nil || got.Err.Error() != res[0].Err.Error() {
+		t.Fatalf("error round-trip: %v vs %v", got.Err, res[0].Err)
+	}
+}

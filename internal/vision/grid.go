@@ -66,6 +66,23 @@ func (m *Model) NewIndex(centers []geom.Vec) *Index {
 		dim = maxGridDim
 	}
 	cell := math.Max(2*r, span/float64(dim))
+	cols := int((maxX-minX)/cell) + 1
+	rows := int((maxY-minY)/cell) + 1
+	// Degenerate-geometry guard: coincident, single-robot or empty inputs
+	// drive span to 0, and non-finite coordinates poison it entirely — either
+	// can leave cell at 0/NaN and turn the cell-coordinate conversions in
+	// colOf/rowOf into garbage (int(NaN) is implementation-defined). Fall
+	// back to a single all-covering cell: every disc lands in bucket (0,0),
+	// queries degrade to the flat scan, and answers stay exactly correct.
+	// Finite inputs can't otherwise explode the grid (cell >= span/dim bounds
+	// cols and rows by dim+1), so the guard also caps the allocation.
+	if !(cell > 0) || math.IsInf(cell, 0) ||
+		cols < 1 || rows < 1 || cols > dim+1 || rows > dim+1 ||
+		!isFinite(minX) || !isFinite(minY) {
+		minX, minY = 0, 0
+		cell = 1
+		cols, rows = 1, 1
+	}
 	ix := &Index{
 		m:       m,
 		centers: centers,
@@ -73,8 +90,8 @@ func (m *Model) NewIndex(centers []geom.Vec) *Index {
 		cell:    cell,
 		minX:    minX,
 		minY:    minY,
-		cols:    int((maxX-minX)/cell) + 1,
-		rows:    int((maxY-minY)/cell) + 1,
+		cols:    cols,
+		rows:    rows,
 	}
 	ix.head = make([]int32, ix.cols*ix.rows)
 	for i := range ix.head {
@@ -91,8 +108,14 @@ func (m *Model) NewIndex(centers []geom.Vec) *Index {
 	return ix
 }
 
+// isFinite reports whether x is neither NaN nor infinite.
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // colOf and rowOf clamp to the grid, which is safe for queries because every
-// disc lies inside the grid's extent.
+// disc lies inside the grid's extent. On the degenerate 1x1 fallback grid the
+// clamp maps every input — even non-finite ones — to cell 0.
 func (ix *Index) colOf(x float64) int {
 	c := int((x - ix.minX) / ix.cell)
 	if c < 0 {

@@ -1,6 +1,7 @@
 package vision_test
 
 import (
+	"math"
 	"testing"
 
 	"github.com/fatgather/fatgather/internal/geom"
@@ -51,6 +52,89 @@ func TestIndexMatchesFlatScan(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestIndexDegenerateGeometry is the regression suite for the degenerate
+// configurations that used to threaten the grid build: coincident centers
+// and single robots drive the bounding-box span to 0, and non-finite
+// coordinates poison the cell size entirely. The index must never panic on
+// them and, wherever the flat model gives a defined answer, must agree with
+// it exactly.
+func TestIndexDegenerateGeometry(t *testing.T) {
+	coincident := make([]geom.Vec, 20)
+	for i := range coincident {
+		coincident[i] = geom.V(3.5, -1.25)
+	}
+	vertical := make([]geom.Vec, 24)
+	for i := range vertical {
+		vertical[i] = geom.V(0, 3*float64(i)) // zero x-span
+	}
+	cases := map[string][]geom.Vec{
+		"coincident":      coincident,
+		"single":          {geom.V(7, 7)},
+		"two-coincident":  {geom.V(1, 1), geom.V(1, 1)},
+		"collinear-horiz": workload.Collinear(24, 3),
+		"collinear-vert":  vertical,
+		"tiny-span":       {geom.V(0, 0), geom.V(1e-12, 1e-12), geom.V(0, 1e-12)},
+	}
+	for name, centers := range cases {
+		ix := dflt.NewIndex(centers)
+		for i := range centers {
+			for j := range centers {
+				got := ix.Visible(i, j)
+				want := bruteVisible(dflt, centers, i, j)
+				if got != want {
+					t.Fatalf("%s: Visible(%d,%d) grid=%v flat=%v", name, i, j, got, want)
+				}
+			}
+		}
+		if got, want := ix.FullyVisible(), dflt.FullyVisible(centers); got != want {
+			t.Fatalf("%s: FullyVisible grid=%v flat=%v", name, got, want)
+		}
+	}
+}
+
+// TestIndexSingleRobotView pins the n=1 fast path end to end.
+func TestIndexSingleRobotView(t *testing.T) {
+	ix := dflt.NewIndex([]geom.Vec{geom.V(2, 3)})
+	if view := ix.View(0); len(view) != 1 || view[0] != 0 {
+		t.Fatalf("single robot view = %v, want [0]", view)
+	}
+	if !ix.FullVisibility(0) || !ix.FullyVisible() {
+		t.Fatal("a single robot must be fully visible")
+	}
+}
+
+// TestIndexNonFiniteCenters pins the guard against NaN/Inf coordinates: the
+// build must fall back to a sane grid instead of converting NaN to a cell
+// coordinate (implementation-defined) or allocating a garbage-sized table,
+// and queries must not panic.
+func TestIndexNonFiniteCenters(t *testing.T) {
+	nan := math.NaN()
+	cases := map[string][]geom.Vec{
+		"nan-x":    {geom.V(0, 0), geom.V(nan, 1), geom.V(8, 0)},
+		"nan-both": {geom.V(nan, nan), geom.V(nan, nan)},
+		"inf-x":    {geom.V(0, 0), geom.V(math.Inf(1), 0), geom.V(4, 4)},
+		"neg-inf":  {geom.V(math.Inf(-1), 0), geom.V(0, 0), geom.V(4, 0)},
+	}
+	for name, centers := range cases {
+		ix := dflt.NewIndex(centers)
+		for i := range centers {
+			for j := range centers {
+				ix.Visible(i, j) // must not panic
+			}
+		}
+		_ = ix.FullyVisible()
+		_ = name
+	}
+}
+
+// TestIndexEmpty pins the zero-robot build.
+func TestIndexEmpty(t *testing.T) {
+	ix := dflt.NewIndex(nil)
+	if !ix.FullyVisible() {
+		t.Fatal("an empty configuration is vacuously fully visible")
 	}
 }
 

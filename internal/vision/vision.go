@@ -15,6 +15,7 @@
 package vision
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/fatgather/fatgather/internal/geom"
@@ -63,6 +64,13 @@ type Model struct {
 
 // New returns a visibility model with the given options.
 func New(opts Options) *Model { return &Model{opts: opts} }
+
+// Fingerprint returns a stable identity string for the model's effective
+// parameters, used when a model is part of a persistent cell key: two models
+// with equal fingerprints answer every query identically.
+func (m *Model) Fingerprint() string {
+	return fmt.Sprintf("r=%g,s=%d", m.opts.radius(), m.opts.samples())
+}
 
 // Default is a visibility model with default options (unit discs).
 var Default = New(Options{})

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"sync"
+
+	"github.com/fatgather/fatgather/internal/config"
+)
+
+// Cache memoizes Generate per (kind, n, seed), so that expanded batches stop
+// regenerating identical placements across the adversary and algorithm axes
+// of a sweep (those axes do not influence the initial configuration).
+//
+// Cache is safe for concurrent use. Each distinct key is generated exactly
+// once, even under concurrent lookups; concurrent lookups of distinct keys
+// generate in parallel. Get returns a fresh copy of the cached configuration,
+// so callers may not worry about aliasing.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    int64
+}
+
+type cacheKey struct {
+	kind Kind
+	n    int
+	seed int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	cfg  config.Geometric
+	err  error
+}
+
+// NewCache returns an empty workload cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Generate returns the configuration for (kind, n, seed), generating it on
+// the first request and serving a copy of the memoized result afterwards. It
+// has the same signature and semantics as the package-level Generate and is
+// the natural engine.Options.Workloads hook.
+func (c *Cache) Generate(kind Kind, n int, seed int64) (config.Geometric, error) {
+	key := cacheKey{kind: kind, n: n, seed: seed}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.cfg, e.err = Generate(kind, n, seed)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.cfg.Clone(), nil
+}
+
+// Stats reports the cache's lifetime counters: hits is the number of Generate
+// calls served from memory, misses the number of placements actually
+// generated.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, int64(len(c.entries))
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCacheMatchesGenerate(t *testing.T) {
+	c := NewCache()
+	for _, kind := range Kinds() {
+		for seed := int64(1); seed <= 2; seed++ {
+			want, werr := Generate(kind, 6, seed)
+			got, gerr := c.Generate(kind, 6, seed)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s seed %d: err %v vs %v", kind, seed, werr, gerr)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s seed %d: cached configuration differs", kind, seed)
+			}
+		}
+	}
+}
+
+func TestCacheCountsHitsAndMisses(t *testing.T) {
+	c := NewCache()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Generate(KindClustered, 4, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Generate(KindClustered, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 4/2", hits, misses)
+	}
+}
+
+// TestCacheReturnsCopies pins that a caller mutating a returned configuration
+// cannot poison later lookups.
+func TestCacheReturnsCopies(t *testing.T) {
+	c := NewCache()
+	first, err := c.Generate(KindRing, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first[0].X += 1000
+	second, err := c.Generate(KindRing, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].X == first[0].X {
+		t.Fatal("cache returned an aliased configuration")
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache()
+	if _, err := c.Generate("bogus", 4, 1); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := c.Generate("bogus", 4, 1); err == nil {
+		t.Fatal("cached unknown kind must still error")
+	}
+}
+
+// TestCacheConcurrent hammers one hot key and several cold keys from many
+// goroutines; the race detector (CI runs -race) checks the locking, and the
+// stats check proves each distinct key generated exactly once.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := c.Generate(KindClustered, 4, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Generate(KindRandom, 3+g%3, int64(i%4+1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if want := int64(1 + 3*4); misses != want {
+		t.Fatalf("generated %d distinct placements, want %d", misses, want)
+	}
+	if hits+misses != 8*20*2 {
+		t.Fatalf("hits %d + misses %d != %d calls", hits, misses, 8*20*2)
+	}
+}
