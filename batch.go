@@ -2,6 +2,7 @@ package fatgather
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/sim"
@@ -54,6 +55,25 @@ type BatchOptions struct {
 	// AdaptiveMaxSeeds caps the seed replicas per group in adaptive mode
 	// (default 32).
 	AdaptiveMaxSeeds int
+	// ShardOwner, when non-empty, runs this batch as one worker of a
+	// cooperative multi-process sweep over SweepDir (required): cell groups
+	// are claimed through lease files, groups completed or freshly leased by
+	// peers are skipped, and a killed worker's expired leases are reclaimed
+	// so its cells re-run. Sharded batches always resume (the shared store
+	// is never reset), and every cooperating worker returns the complete
+	// result set — byte-identical to a single-process run — once the fleet
+	// drains the sweep. Does not compose with AdaptiveCI.
+	ShardOwner string
+	// LeaseTTL is how long a sharded worker's lease outlives its last
+	// heartbeat before peers may reclaim it (default 30s).
+	LeaseTTL time.Duration
+	// Shards and ShardIndex statically partition the cell groups by a
+	// stable hash when Shards > 1: this process runs only the groups with
+	// hash%Shards == ShardIndex. Unlike lease mode this works without a
+	// SweepDir, but then BatchResult covers only this shard's cells.
+	Shards int
+	// ShardIndex is this process's static shard (0 <= ShardIndex < Shards).
+	ShardIndex int
 }
 
 // BatchCell identifies one run within a batch.
@@ -118,6 +138,12 @@ type BatchResult struct {
 	// from the SweepDir store (Restored is 0 without a store).
 	Executed int
 	Restored int
+	// Claimed and Skipped count the cell groups this worker ran vs left to
+	// peers in a sharded batch (both 0 without sharding), and Reclaimed
+	// counts expired leases taken over from dead workers.
+	Claimed   int
+	Skipped   int
+	Reclaimed int
 }
 
 // RunBatch runs a declarative batch of gathering simulations across all CPU
@@ -173,6 +199,24 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 	if opts.SeedStart < 0 {
 		return BatchResult{}, fmt.Errorf("%w: SeedStart must be positive (or 0 for the default), got %d", ErrBadOptions, opts.SeedStart)
 	}
+	sharded := opts.ShardOwner != "" || opts.Shards > 1
+	if sharded {
+		if opts.ShardOwner != "" && opts.SweepDir == "" {
+			return BatchResult{}, fmt.Errorf("%w: ShardOwner requires SweepDir (leases live in the shared sweep directory)", ErrBadOptions)
+		}
+		if opts.AdaptiveCI > 0 {
+			return BatchResult{}, fmt.Errorf("%w: AdaptiveCI does not compose with sharding (the adaptive grid is data-dependent, so shards could not agree on it)", ErrBadOptions)
+		}
+	}
+	if opts.Shards < 0 {
+		return BatchResult{}, fmt.Errorf("%w: Shards must be non-negative, got %d", ErrBadOptions, opts.Shards)
+	}
+	if opts.Shards > 1 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.Shards) {
+		return BatchResult{}, fmt.Errorf("%w: ShardIndex must be in [0, %d), got %d", ErrBadOptions, opts.Shards, opts.ShardIndex)
+	}
+	if opts.LeaseTTL < 0 {
+		return BatchResult{}, fmt.Errorf("%w: LeaseTTL must be non-negative, got %v", ErrBadOptions, opts.LeaseTTL)
+	}
 
 	batch := engine.Batch{
 		Workloads:        kinds,
@@ -196,12 +240,18 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 	}
 	var warnings []string
 	if opts.SweepDir != "" {
-		st, err := sweep.Open(opts.SweepDir)
+		open := sweep.Open
+		if sharded {
+			// Peers may be appending concurrently: load without compacting,
+			// and never reset — sharded batches always resume.
+			open = sweep.OpenShared
+		}
+		st, err := open(opts.SweepDir)
 		if err != nil {
 			return BatchResult{}, fmt.Errorf("%w: %v", ErrBadOptions, err)
 		}
 		defer st.Close()
-		if !opts.Resume {
+		if !opts.Resume && !sharded {
 			if err := st.Reset(); err != nil {
 				return BatchResult{}, err
 			}
@@ -214,13 +264,31 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		results []engine.CellResult
 		infos   []sweep.GroupSeeds
 		stats   sweep.Stats
+		shStats sweep.ShardStats
 	)
-	if opts.AdaptiveCI > 0 {
+	switch {
+	case opts.AdaptiveCI > 0:
 		results, infos, stats = sweep.RunAdaptive(cells, sweepOpts, sweep.Adaptive{
 			TargetCI: opts.AdaptiveCI,
 			MaxSeeds: opts.AdaptiveMaxSeeds,
 		})
-	} else {
+	case sharded:
+		results, shStats = sweep.RunSharded(cells, sweepOpts, sweep.Shard{
+			Owner:  opts.ShardOwner,
+			TTL:    opts.LeaseTTL,
+			Shards: opts.Shards,
+			Index:  opts.ShardIndex,
+		})
+		stats = shStats.Stats
+		// Cells another shard owns (and no store could merge) are dropped:
+		// the remaining results are exactly this worker's share, still in
+		// deterministic grid order.
+		results = sweep.DropNotClaimed(results)
+		if shStats.LeaseErrs > 0 {
+			warnings = append(warnings, fmt.Sprintf(
+				"sweep: %d cell groups ran without a lease (lease dir trouble); peers may duplicate that work", shStats.LeaseErrs))
+		}
+	default:
 		results, stats = sweep.Run(cells, sweepOpts)
 	}
 	if stats.AppendErrs > 0 {
@@ -236,10 +304,13 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 	groups := col.Groups()
 
 	out := BatchResult{
-		Cells:    make([]BatchCellResult, len(results)),
-		Warnings: warnings,
-		Executed: stats.Executed,
-		Restored: stats.Restored,
+		Cells:     make([]BatchCellResult, len(results)),
+		Warnings:  warnings,
+		Executed:  stats.Executed,
+		Restored:  stats.Restored,
+		Claimed:   shStats.GroupsClaimed,
+		Skipped:   shStats.GroupsSkipped,
+		Reclaimed: shStats.LeasesReclaimed,
 	}
 	for i, r := range results {
 		cell := BatchCellResult{

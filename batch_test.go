@@ -2,9 +2,12 @@ package fatgather
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestRunBatchShapeAndDeterminism(t *testing.T) {
@@ -207,5 +210,120 @@ func TestRunBatchRejectsUnknownWorkload(t *testing.T) {
 	})
 	if !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("bad workload: got %v", err)
+	}
+}
+
+// TestRunBatchShardedConcurrentWorkers pins the public sharding contract:
+// two RunBatch workers cooperating over one SweepDir via leases both return
+// the complete batch, identical to an unsharded run, and together execute
+// every cell exactly once.
+func TestRunBatchShardedConcurrentWorkers(t *testing.T) {
+	opts := BatchOptions{
+		Workloads: []Workload{WorkloadClustered, WorkloadRing},
+		Ns:        []int{3, 4},
+		Seeds:     2,
+		MaxEvents: 1500,
+	}
+	want, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const workers = 2
+	results := make([]BatchResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := opts
+			sh.SweepDir = dir
+			sh.ShardOwner = fmt.Sprintf("worker-%d", w)
+			sh.LeaseTTL = 5 * time.Second
+			results[w], errs[w] = RunBatch(sh)
+		}(w)
+	}
+	wg.Wait()
+
+	executed, claimed := 0, 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reflect.DeepEqual(results[w].Cells, want.Cells) || !reflect.DeepEqual(results[w].Groups, want.Groups) {
+			t.Fatalf("worker %d result differs from the unsharded batch", w)
+		}
+		executed += results[w].Executed
+		claimed += results[w].Claimed
+		if results[w].Claimed+results[w].Skipped != 4 { // 2 workloads x 2 ns cell groups
+			t.Fatalf("worker %d claimed %d + skipped %d groups, want 4 total",
+				w, results[w].Claimed, results[w].Skipped)
+		}
+	}
+	if executed != len(want.Cells) {
+		t.Fatalf("fleet executed %d cells, want exactly %d", executed, len(want.Cells))
+	}
+	if claimed != 4 {
+		t.Fatalf("fleet claimed %d groups, want exactly 4", claimed)
+	}
+}
+
+// TestRunBatchStaticShardsPartition pins static mode: without a shared
+// store the two shards return disjoint, complementary subsets of the batch.
+func TestRunBatchStaticShardsPartition(t *testing.T) {
+	opts := BatchOptions{
+		Workloads: []Workload{WorkloadClustered, WorkloadRing},
+		Ns:        []int{3, 4},
+		Seeds:     2,
+		MaxEvents: 1500,
+	}
+	want, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[BatchCell]int{}
+	total := 0
+	for idx := 0; idx < 2; idx++ {
+		sh := opts
+		sh.Shards = 2
+		sh.ShardIndex = idx
+		got, err := RunBatch(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(got.Cells)
+		for _, c := range got.Cells {
+			seen[c.Cell]++
+		}
+	}
+	if total != len(want.Cells) {
+		t.Fatalf("shards covered %d cells, want %d", total, len(want.Cells))
+	}
+	for _, c := range want.Cells {
+		if seen[c.Cell] != 1 {
+			t.Fatalf("cell %+v covered %d times, want exactly once", c.Cell, seen[c.Cell])
+		}
+	}
+}
+
+// TestRunBatchShardedRejectsBadOptions covers the sharding option validation.
+func TestRunBatchShardedRejectsBadOptions(t *testing.T) {
+	if _, err := RunBatch(BatchOptions{ShardOwner: "w"}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("ShardOwner without SweepDir: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{ShardOwner: "w", SweepDir: t.TempDir(), AdaptiveCI: 100}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("ShardOwner with AdaptiveCI: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{Shards: 2, ShardIndex: 2}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("ShardIndex out of range: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{Shards: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative Shards: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{ShardOwner: "w", SweepDir: t.TempDir(), LeaseTTL: -time.Second}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative LeaseTTL: got %v", err)
 	}
 }

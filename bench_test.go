@@ -1,7 +1,7 @@
 package fatgather
 
-// One benchmark per evaluation artifact (E1..E12); see DESIGN.md for the
-// experiment index and EXPERIMENTS.md for recorded results. The benchmarks
+// One benchmark per evaluation artifact (E1..E12); see the experiment
+// index in README.md / internal/experiments. The benchmarks
 // call the same drivers as cmd/gatherbench with a reduced budget so that
 // `go test -bench=.` stays tractable; run cmd/gatherbench for the full-size
 // tables.

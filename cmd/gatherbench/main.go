@@ -1,9 +1,11 @@
-// Command gatherbench runs the experiment suite (E1..E12 from DESIGN.md /
-// EXPERIMENTS.md) and prints each resulting table. Individual experiments can
-// be selected by id; the multi-run experiments (E5, E7, E9, E10, E11) are
-// executed on the parallel batch engine, whose results are bit-identical for
-// any worker count, and can checkpoint every cell result to disk so that a
-// killed sweep resumes where it stopped.
+// Command gatherbench runs the experiment suite (E1..E12, defined in
+// internal/experiments — see the package's godoc for the index) and prints
+// each resulting table. Individual experiments can be selected by id; the
+// multi-run experiments (E5, E7, E9, E10, E11) are executed on the parallel
+// batch engine, whose results are bit-identical for any worker count, can
+// checkpoint every cell result to disk so that a killed sweep resumes where
+// it stopped, and can be sharded across processes (or hosts on a shared
+// filesystem) that cooperatively drain one sweep directory.
 //
 // Example:
 //
@@ -13,6 +15,13 @@
 //	gatherbench -out sweep/                 # checkpoint cell results to disk
 //	gatherbench -out sweep/ -resume         # re-run only the missing cells
 //	gatherbench -adaptive-ci 500            # grow seeds until CI is tight
+//
+// Sharded: run one of these per terminal/host — they split the work through
+// lease files in the shared sweep directory, re-run a killed peer's cells
+// once its leases expire, and each print the same byte-identical tables:
+//
+//	gatherbench -only E5 -out sweep/ -shard-owner "$(hostname)-$$"
+//	gatherbench -only E5 -shards 2 -shard-id 0   # static split, no shared dir
 package main
 
 import (
@@ -44,6 +53,10 @@ func run(args []string, out io.Writer) error {
 	resume := fs.Bool("resume", false, "re-use completed cells found in -out and run only the missing ones (requires -out)")
 	adaptiveCI := fs.Float64("adaptive-ci", 0, "adaptive seed scheduling: grow each cell group's seeds until the 95% CI half-width of its event count falls below this target (0 = fixed seeds)")
 	adaptiveMax := fs.Int("adaptive-max-seeds", 0, "seed cap per cell group in adaptive mode (0 = default cap)")
+	shardOwner := fs.String("shard-owner", "", "cooperative sharding: this worker's unique id (e.g. host+pid); cell groups are claimed via lease files in the shared -out directory, so N such processes drain one sweep together (requires -out, implies -resume)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "lease expiry in cooperative sharding: a worker silent this long is presumed dead and its cells re-run (0 = 30s default; requires -shard-owner)")
+	shards := fs.Int("shards", 0, "static sharding: total number of shards; this process runs only cell groups hashing to its -shard-id (works without a shared -out store, but then tables cover only this shard's cells)")
+	shardID := fs.Int("shard-id", 0, "static sharding: this process's shard index in [0, shards)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +81,27 @@ func run(args []string, out io.Writer) error {
 	if *adaptiveMax > 0 && *adaptiveCI == 0 {
 		return fmt.Errorf("-adaptive-max-seeds requires -adaptive-ci (it only caps adaptive scheduling)")
 	}
+	if *shardOwner != "" && *outDir == "" {
+		return fmt.Errorf("-shard-owner requires -out (leases and results live in the shared sweep directory)")
+	}
+	if *leaseTTL < 0 {
+		return fmt.Errorf("-lease-ttl must be non-negative, got %v", *leaseTTL)
+	}
+	if *leaseTTL > 0 && *shardOwner == "" {
+		return fmt.Errorf("-lease-ttl requires -shard-owner (it only configures cooperative sharding)")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
+	}
+	if *shards > 1 && (*shardID < 0 || *shardID >= *shards) {
+		return fmt.Errorf("-shard-id must be in [0, %d), got %d", *shards, *shardID)
+	}
+	if *shardID != 0 && *shards <= 1 {
+		return fmt.Errorf("-shard-id requires -shards > 1")
+	}
+	if (*shardOwner != "" || *shards > 1) && *adaptiveCI > 0 {
+		return fmt.Errorf("-adaptive-ci does not compose with sharding (shards could not agree on the data-dependent adaptive grid)")
+	}
 	if *outDir != "" {
 		// Fail before running anything if the sweep directory is unusable.
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -79,9 +113,13 @@ func run(args []string, out io.Writer) error {
 		MaxEvents:        *maxEvents,
 		Workers:          *workers,
 		SweepDir:         *outDir,
-		Resume:           *resume,
+		Resume:           *resume || *shardOwner != "",
 		AdaptiveCI:       *adaptiveCI,
 		AdaptiveMaxSeeds: *adaptiveMax,
+		ShardOwner:       *shardOwner,
+		LeaseTTL:         *leaseTTL,
+		Shards:           *shards,
+		ShardIndex:       *shardID,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "gatherbench: "+format+"\n", args...)
 		},

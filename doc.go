@@ -1,0 +1,18 @@
+// Package fatgather is the public API of the fat-robot gathering library: a
+// from-scratch Go implementation of "A Distributed Algorithm for Gathering
+// Many Fat Mobile Robots in the Plane" (Agathangelou, Georgiou, Mavronicolas,
+// PODC 2013), together with the asynchronous Look-Compute-Move simulator,
+// adversary models, workload generators and baselines needed to evaluate it.
+//
+// The typical entry point is Run:
+//
+//	result, err := fatgather.Run(fatgather.Options{
+//		N:        8,
+//		Workload: fatgather.WorkloadClustered,
+//		Seed:     1,
+//	})
+//
+// which places 8 robots, runs the paper's distributed algorithm under an
+// asynchronous adversary, and reports whether (and how fast) the robots
+// gathered into a connected, fully visible configuration.
+package fatgather

@@ -1,7 +1,7 @@
-// Adversarial: start from the hardest initial shape for opaque robots (all on
-// one straight line, where most robots can see only their immediate
-// neighbours) and run under a hostile scheduler. The example reports how long
-// each phase of the algorithm took under every adversary.
+// Command adversarial starts from the hardest initial shape for opaque
+// robots (all on one straight line, where most robots can see only their
+// immediate neighbours) and runs under a hostile scheduler. The example
+// reports how long each phase of the algorithm took under every adversary.
 //
 //	go run ./examples/adversarial
 package main

@@ -1,6 +1,6 @@
-// Comparison: run the paper's algorithm head to head with the baseline
-// algorithms (centroid gatherer, small-n gatherer, transparent-robot
-// gatherer) on the same workloads and report which of them actually reach a
+// Command comparison runs the paper's algorithm head to head with the
+// baseline algorithms (centroid gatherer, small-n gatherer, transparent-robot
+// gatherer) on the same workloads and reports which of them actually reach a
 // connected, fully visible configuration.
 //
 //	go run ./examples/comparison

@@ -1,4 +1,5 @@
-// Quickstart: gather a handful of fat robots and print what happened.
+// Command quickstart gathers a handful of fat robots and prints what
+// happened.
 //
 //	go run ./examples/quickstart
 package main

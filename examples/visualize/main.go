@@ -1,6 +1,6 @@
-// Visualize: run a gathering and write SVG snapshots of the initial and final
-// configurations, plus reproductions of the paper's geometric figures, into
-// ./out (created if needed).
+// Command visualize runs a gathering and writes SVG snapshots of the
+// initial and final configurations, plus reproductions of the paper's
+// geometric figures, into ./out (created if needed).
 //
 //	go run ./examples/visualize
 package main

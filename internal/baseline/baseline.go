@@ -1,9 +1,3 @@
-// Package baseline provides comparison algorithms for the experiments: the
-// naïve centroid (gravity) gatherer, a transparent-fat-robot gatherer that
-// pretends occlusion does not exist, and a specialized small-n gatherer in
-// the spirit of Czyzowicz et al. (which the paper generalizes). None of these
-// is expected to solve gathering for arbitrary n non-transparent fat robots;
-// the benchmarks quantify exactly how and when they fall short.
 package baseline
 
 import (

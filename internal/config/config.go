@@ -1,7 +1,3 @@
-// Package config defines geometric and robot configurations (Section 2 of
-// the paper) and the predicates on them that the gathering problem is stated
-// in terms of: validity (no overlapping discs), connectivity (the gathering
-// goal), and full visibility.
 package config
 
 import (

@@ -1,17 +1,3 @@
-// Package engine is the parallel batch-simulation runner behind the
-// experiment harness and the public fatgather.RunBatch API. A batch is a
-// declarative cross product of workloads, robot counts, adversaries,
-// algorithms and seed ranges; the engine expands it into independent cells,
-// fans the cells across a worker pool, and streams the results back to a
-// collector in deterministic cell order.
-//
-// Determinism is the engine's core contract: every cell owns all of its
-// randomness (the workload seed and the adversary seed live in the Cell
-// itself, and the adversary is constructed inside the worker), so the result
-// of a batch is bit-identical regardless of the number of workers or the
-// order in which the scheduler happens to interleave them. Seed fan-out for
-// expanded batches uses a SplitMix64 derivation (DeriveSeed) so that cells
-// get decorrelated but reproducible random streams.
 package engine
 
 import (

@@ -1,0 +1,13 @@
+// Package experiments contains the drivers that regenerate the evaluation
+// artifacts E1..E12 (the suite index lives in Suite and is tabulated in the
+// repository README). Each driver returns a Table that cmd/gatherbench
+// prints and that the root bench_test.go executes as a benchmark, so every
+// recorded number can be reproduced with either tool.
+//
+// The multi-run experiments (E5, E7, E9, E10, E11) execute their cell grids
+// on the parallel engine through the resumable sweep layer: Config wires
+// worker counts, on-disk checkpointing (SweepDir/Resume), adaptive seed
+// scheduling (AdaptiveCI) and multi-process sharding (ShardOwner/LeaseTTL or
+// Shards/ShardIndex) into every one of them uniformly. Tables are
+// byte-identical across worker counts, resumes and sharded fleets.
+package experiments

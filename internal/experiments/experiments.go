@@ -1,14 +1,10 @@
-// Package experiments contains the drivers that regenerate the evaluation
-// artifacts described in DESIGN.md and EXPERIMENTS.md (E1..E12). Each driver
-// returns a Table that cmd/gatherbench prints and that bench_test.go executes
-// as a benchmark, so the numbers in EXPERIMENTS.md can be reproduced with
-// either tool.
 package experiments
 
 import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/fatgather/fatgather/internal/baseline"
 	"github.com/fatgather/fatgather/internal/config"
@@ -87,10 +83,31 @@ type Config struct {
 	AdaptiveCI float64
 	// AdaptiveMaxSeeds caps the replicas per group (default sweep.DefaultMaxSeeds).
 	AdaptiveMaxSeeds int
+	// ShardOwner, when non-empty, runs the multi-run experiments as one
+	// worker of a cooperative multi-process sweep: cell groups are claimed
+	// through lease files in the shared SweepDir, groups completed or leased
+	// by peers are skipped, and expired leases (dead workers) are reclaimed.
+	// Requires SweepDir; the store is never reset (sharded runs always
+	// resume), and every worker renders the complete, byte-identical tables
+	// once the fleet drains the sweep.
+	ShardOwner string
+	// LeaseTTL is the lease expiry in cooperative mode (default
+	// sweep.DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Shards and ShardIndex statically partition the cell groups by a stable
+	// hash when Shards > 1: this process only runs groups with
+	// hash%Shards == ShardIndex. Unlike lease mode this needs no shared
+	// store, but without one each process renders only its own share.
+	Shards int
+	// ShardIndex is this process's static shard (0 <= ShardIndex < Shards).
+	ShardIndex int
 	// Warnf, when non-nil, receives sweep-store warnings (corrupt records
 	// skipped on load, version mismatches, checkpoint failures).
 	Warnf func(format string, args ...any)
 }
+
+// sharded reports whether any sharding mode is configured.
+func (c Config) sharded() bool { return c.ShardOwner != "" || c.Shards > 1 }
 
 func (c Config) withDefaults() Config {
 	if c.Seeds <= 0 {
@@ -116,20 +133,32 @@ func (c Config) warnf(format string, args ...any) {
 // runCells executes an experiment's cell grid through the resumable sweep
 // layer: workload generation is memoized per (kind, n, seed), results stream
 // to SweepDir/<id> when checkpointing is on, and adaptive seed scheduling
-// grows the grid when AdaptiveCI is set. The returned results are identical
-// to engine.Run on the same cells (plus any adaptive replicas, reported in
-// the GroupSeeds slice, which is nil for fixed-seed runs).
+// grows the grid when AdaptiveCI is set. With ShardOwner or Shards set, the
+// grid runs as one worker of a multi-process sharded sweep instead (cells
+// another shard owns and no store can merge are dropped from the returned
+// slice, so partial static tables aggregate only what actually ran). The
+// returned results are otherwise identical to engine.Run on the same cells
+// (plus any adaptive replicas, reported in the GroupSeeds slice, which is nil
+// for fixed-seed runs).
 func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, []sweep.GroupSeeds) {
 	opts := sweep.Options{Engine: c.engineOpts(), Cache: workload.NewCache()}
+	sharded := c.sharded() && c.AdaptiveCI <= 0
 	if c.SweepDir != "" {
-		st, err := sweep.Open(filepath.Join(c.SweepDir, id))
+		open := sweep.Open
+		if sharded {
+			// Peers may be appending to the same store concurrently: load
+			// without compacting, and never reset (sharded runs always
+			// resume — a reset would discard the fleet's work).
+			open = sweep.OpenShared
+		}
+		st, err := open(filepath.Join(c.SweepDir, id))
 		if err != nil {
 			// Checkpointing is an accelerator, never a gate: warn and run the
 			// sweep in memory.
 			c.warnf("experiments: %s: %v (running without checkpoints)", id, err)
 		} else {
 			defer st.Close()
-			if !c.Resume {
+			if !c.Resume && !sharded {
 				if rerr := st.Reset(); rerr != nil {
 					c.warnf("experiments: %s: %v", id, rerr)
 				}
@@ -141,6 +170,9 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 		}
 	}
 	if c.AdaptiveCI > 0 {
+		if c.sharded() {
+			c.warnf("experiments: %s: adaptive seed scheduling does not compose with sharding; running unsharded", id)
+		}
 		results, infos, stats := sweep.RunAdaptive(cells, opts, sweep.Adaptive{
 			TargetCI: c.AdaptiveCI,
 			MaxSeeds: c.AdaptiveMaxSeeds,
@@ -149,6 +181,25 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 			c.warnf("experiments: %s: %d results could not be checkpointed", id, stats.AppendErrs)
 		}
 		return results, infos
+	}
+	if sharded {
+		if c.ShardOwner != "" && opts.Store == nil {
+			c.warnf("experiments: %s: lease-based sharding requires a sweep store; running unsharded", id)
+		} else {
+			results, stats := sweep.RunSharded(cells, opts, sweep.Shard{
+				Owner:  c.ShardOwner,
+				TTL:    c.LeaseTTL,
+				Shards: c.Shards,
+				Index:  c.ShardIndex,
+			})
+			if stats.AppendErrs > 0 {
+				c.warnf("experiments: %s: %d results could not be checkpointed", id, stats.AppendErrs)
+			}
+			if stats.LeaseErrs > 0 {
+				c.warnf("experiments: %s: %d cell groups ran without a lease (lease dir trouble); peers may duplicate that work", id, stats.LeaseErrs)
+			}
+			return sweep.DropNotClaimed(results), nil
+		}
 	}
 	results, stats := sweep.Run(cells, opts)
 	if stats.AppendErrs > 0 {

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // sweepTables renders the five checkpointable experiments at a small budget.
@@ -194,4 +197,99 @@ func equalTables(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// TestShardedSweepTablesByteIdentical is the acceptance test for lease-based
+// sharding at the experiment level: two workers drain the five multi-run
+// experiments concurrently over one sweep directory, claiming cell groups
+// through lease files, and each renders tables byte-identical to a
+// single-process in-memory run.
+func TestShardedSweepTablesByteIdentical(t *testing.T) {
+	base := Config{Seeds: 2, MaxEvents: 2000}
+	want := sweepTables(base)
+
+	dir := t.TempDir()
+	const workers = 2
+	got := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := base
+			c.SweepDir = dir
+			c.ShardOwner = fmt.Sprintf("worker-%d", w)
+			c.LeaseTTL = 5 * time.Second
+			c.Warnf = t.Logf
+			got[w] = sweepTables(c)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if !equalTables(got[w], want) {
+			for i := range got[w] {
+				if got[w][i] != want[i] {
+					t.Errorf("worker %d table %d differs:\n%s\nvs single-process:\n%s", w, i, got[w][i], want[i])
+				}
+			}
+			t.Fatalf("worker %d tables are not byte-identical", w)
+		}
+	}
+	// The fleet split the work: every store holds each record exactly once.
+	for _, id := range []string{"E5", "E7", "E9", "E10", "E11"} {
+		path := filepath.Join(dir, id, "results.jsonl")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		keys := map[string]bool{}
+		lines := 0
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			lines++
+			keys[line[strings.Index(line, "\"key\""):strings.Index(line, "\"elapsed_ns\"")]] = true
+		}
+		if len(keys) != lines {
+			t.Fatalf("%s: %d records but only %d distinct cells (duplicated work)", id, lines, len(keys))
+		}
+	}
+}
+
+// TestShardedSweepKillAndReclaimTablesByteIdentical mirrors the PR 2
+// kill-and-resume test for the sharded path: a worker is "killed" mid-sweep
+// (stores cut to a prefix with a torn trailing record), and a surviving
+// sharded worker must finish the missing cells and render byte-identical
+// tables.
+func TestShardedSweepKillAndReclaimTablesByteIdentical(t *testing.T) {
+	base := Config{Seeds: 2, MaxEvents: 2000}
+	want := sweepTables(base)
+
+	dir := t.TempDir()
+	ck := base
+	ck.SweepDir = dir
+	ck.Warnf = t.Logf
+	if got := sweepTables(ck); !equalTables(got, want) {
+		t.Fatal("checkpointed tables differ from in-memory tables")
+	}
+	for _, id := range []string{"E5", "E7", "E9", "E10", "E11"} {
+		path := filepath.Join(dir, id, "results.jsonl")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		lines := strings.SplitAfter(string(data), "\n")
+		keep := (len(lines) - 1) / 2
+		partial := strings.Join(lines[:keep], "") + lines[keep][:len(lines[keep])/2]
+		if err := os.WriteFile(path, []byte(partial), 0o644); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+
+	survivor := base
+	survivor.SweepDir = dir
+	survivor.ShardOwner = "survivor"
+	survivor.LeaseTTL = time.Second
+	survivor.Warnf = t.Logf
+	if got := sweepTables(survivor); !equalTables(got, want) {
+		t.Fatal("sharded survivor tables are not byte-identical to the single-process run")
+	}
 }

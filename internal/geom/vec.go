@@ -1,13 +1,3 @@
-// Package geom provides the 2-D computational-geometry substrate used by the
-// fat-robot gathering algorithm: vectors, segments, circles, convex hulls,
-// and the epsilon-tolerant predicates the algorithm relies on.
-//
-// All geometry is performed on float64 coordinates. Predicates that the paper
-// states over exact reals (collinearity, tangency, "on the convex hull") are
-// implemented with explicit tolerances; see Eps and the per-function
-// documentation. The algorithm's own margins (1/n, 1/2n-epsilon) are orders of
-// magnitude larger than these tolerances, so the classification of
-// configurations is preserved.
 package geom
 
 import (

@@ -1,7 +1,3 @@
-// Package metrics provides the small statistical toolkit used by the
-// experiment harness: summaries of samples (mean, median, min, max, standard
-// deviation), success rates, and monotonicity checks over series (used to
-// validate the paper's hull-monotonicity lemmas).
 package metrics
 
 import (

@@ -1,0 +1,6 @@
+// Package robot models a single fat robot as the five-state machine of
+// Section 2 of the paper: Wait, Look, Compute, Move, Terminate, together with
+// the bookkeeping the simulator needs (current view snapshot, start and
+// target of the ongoing motion). Robots are history oblivious: whatever was
+// computed during a cycle is erased whenever the robot returns to Wait.
+package robot

@@ -1,10 +1,3 @@
-// Package sim is the discrete-event simulator that realizes the paper's
-// execution model (Section 2 and Section 5): an execution is an alternating
-// sequence of robot configurations and adversary-chosen events
-// (Look, Compute, Done, Move, Stop, Collide, Arrive). The simulator enforces
-// the physical constraints of the fat-robot model — motion stops at the first
-// tangency, discs never overlap — and the liveness conditions (minimum
-// progress delta, every robot scheduled).
 package sim
 
 import (

@@ -75,7 +75,7 @@ func TestTwoRobotsGatherUnderEveryAdversary(t *testing.T) {
 func TestSmallClusterGathersAndTerminates(t *testing.T) {
 	// Seeds chosen so that the run completes well inside the event budget;
 	// convergence for every seed at larger n is the subject of the
-	// experiment harness (see EXPERIMENTS.md), not of this unit test.
+	// experiment harness (internal/experiments), not of this unit test.
 	cases := []struct {
 		n    int
 		seed int64

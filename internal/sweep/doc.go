@@ -1,0 +1,28 @@
+// Package sweep is the persistent, resumable and shardable layer over the
+// batch engine. It provides four building blocks:
+//
+//   - Store: an append-only JSONL checkpoint of completed cells. Every
+//     engine.CellResult streams to disk as its worker finishes, and on
+//     restart the completed-cell set is loaded so only the missing cells
+//     re-run — with tables byte-identical to an uninterrupted run. See
+//     FORMAT.md in this directory for the on-disk record and lease formats.
+//   - Run: engine.Run behind the store — restored and fresh results are
+//     streamed interleaved in deterministic cell order.
+//   - RunAdaptive: adaptive seed scheduling on top of Run — each cell group
+//     keeps receiving seed replicas until the 95% confidence interval
+//     half-width of its metric is tight enough, or a cap is reached.
+//   - RunSharded: multi-process (or multi-host, over a shared filesystem)
+//     sweeps. Each worker claims cell groups through lease files in the
+//     sweep directory (O_EXCL create with owner id and expiry timestamp),
+//     heartbeats its lease while running, skips groups completed in the
+//     store or freshly leased by peers, and reclaims expired leases so a
+//     killed worker's cells are re-run. Cooperating workers drain the sweep
+//     and every one of them returns the complete result set, byte-identical
+//     to a single-process run.
+//
+// Correctness never depends on lease arbitration: records are keyed by the
+// cell's full identity and are bit-identical no matter which worker produced
+// them, so a lost lease race can at worst duplicate work. The workload cache
+// hook (Options.Cache) memoizes placement generation per (kind, n, seed)
+// across all of these run modes.
+package sweep

@@ -1,0 +1,556 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/fatgather/fatgather/internal/engine"
+)
+
+// ErrNotClaimed marks a cell that a statically sharded worker skipped because
+// the cell's group belongs to another shard and no shared store was available
+// to merge the peer's result from. Callers that render partial tables filter
+// these results out; in cooperative (lease) mode they never occur, because the
+// coordinator drains the store until every cell is complete.
+var ErrNotClaimed = errors.New("sweep: cell not claimed by this shard")
+
+// Default lease-layer timing knobs (see Shard).
+const (
+	// DefaultLeaseTTL is the lease expiry when Shard.TTL is unset. A worker
+	// that misses heartbeats for this long is presumed dead and its cell
+	// groups are reclaimed by peers.
+	DefaultLeaseTTL = 30 * time.Second
+	// DefaultPoll is the store re-scan interval when Shard.Poll is unset.
+	DefaultPoll = 200 * time.Millisecond
+)
+
+// leasesDir is the subdirectory of a sweep directory that holds lease files.
+const leasesDir = "leases"
+
+// Shard configures one worker of a multi-process sharded sweep. Two modes
+// compose:
+//
+//   - Cooperative (lease-based): Owner names this worker uniquely, and cell
+//     groups are claimed at run time through lease files in the shared sweep
+//     directory — whichever worker gets to a group first runs it, dead
+//     workers' leases expire and are reclaimed. Requires a Store.
+//   - Static: Shards/Index partition the cell groups up front by a stable
+//     hash; this worker only ever runs groups with hash%Shards == Index.
+//     Works without a shared store (each worker renders its own share).
+//
+// When both are set, the worker claims leases only inside its static share
+// and waits for peers to fill in the rest.
+type Shard struct {
+	// Owner is this worker's unique id (hostname+pid works well). Non-empty
+	// Owner enables cooperative lease-based claiming and makes the run drain
+	// the whole sweep: cells completed by peers are merged from the shared
+	// store, so every cooperating worker returns the complete result set.
+	Owner string
+	// TTL is how long a lease outlives its last heartbeat (default
+	// DefaultLeaseTTL). Shorter TTLs reclaim dead workers' groups faster but
+	// tolerate less scheduling jitter between heartbeats.
+	TTL time.Duration
+	// Heartbeat is the lease renewal interval (default TTL/3).
+	Heartbeat time.Duration
+	// Poll is how often a waiting worker re-reads the shared store and
+	// re-tries claims while peers hold the remaining groups (default
+	// DefaultPoll).
+	Poll time.Duration
+	// Shards and Index configure static sharding: when Shards > 1, this
+	// worker only runs cell groups whose stable hash maps to Index
+	// (0 <= Index < Shards). Zero or one means no static partition.
+	Shards int
+	// Index is this worker's static shard index.
+	Index int
+}
+
+func (sh Shard) withDefaults() Shard {
+	if sh.TTL <= 0 {
+		sh.TTL = DefaultLeaseTTL
+	}
+	if sh.Heartbeat <= 0 {
+		sh.Heartbeat = sh.TTL / 3
+	}
+	if sh.Poll <= 0 {
+		sh.Poll = DefaultPoll
+	}
+	return sh
+}
+
+// mine reports whether a cell group falls in this worker's static share.
+func (sh Shard) mine(groupKey string) bool {
+	if sh.Shards <= 1 {
+		return true
+	}
+	return int(shardHash(groupKey)%uint64(sh.Shards)) == sh.Index
+}
+
+// shardHash maps a group key to a stable 64-bit hash, used both for static
+// shard assignment and for lease file names. FNV-1a: stable across runs,
+// builds and hosts, which is what makes the static partition deterministic.
+func shardHash(groupKey string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(groupKey))
+	return h.Sum64()
+}
+
+// ShardStats extends the resumable-run stats with what the shard coordinator
+// did: how many cell groups this worker claimed and ran, how many it skipped
+// because a peer completed or held them, and how many stale leases it took
+// over from dead workers.
+type ShardStats struct {
+	Stats
+	// GroupsClaimed counts the cell groups this worker claimed and ran.
+	GroupsClaimed int
+	// GroupsSkipped counts the groups this worker did not run: completed or
+	// freshly leased by peers, or outside its static share.
+	GroupsSkipped int
+	// LeasesReclaimed counts expired (or corrupt) leases this worker took
+	// over — each one is a dead peer's group being re-run.
+	LeasesReclaimed int
+	// LeaseErrs counts groups whose lease could not be claimed or created at
+	// all (lease directory unwritable, I/O errors). Such groups run without
+	// a lease — liveness and correctness never depend on lease arbitration,
+	// only work-splitting does — so a positive count means possible
+	// duplicated work, and callers should surface it as a warning.
+	LeaseErrs int
+}
+
+// DropNotClaimed filters out the results a static shard did not cover
+// (Err == ErrNotClaimed), in place. Cooperative (lease) runs never produce
+// such results; static shards without a shared store use this to aggregate
+// only what actually ran.
+func DropNotClaimed(results []engine.CellResult) []engine.CellResult {
+	kept := results[:0]
+	for _, r := range results {
+		if !errors.Is(r.Err, ErrNotClaimed) {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// leaseRecord is the JSON body of a lease file.
+type leaseRecord struct {
+	// Owner is the worker id that holds the lease.
+	Owner string `json:"owner"`
+	// Group is the cell-group key the lease covers (informational: the file
+	// name already binds the lease to the group's hash).
+	Group string `json:"group"`
+	// Expires is the lease expiry as Unix nanoseconds; a lease whose expiry
+	// is in the past is stale and may be reclaimed by any worker.
+	Expires int64 `json:"expires_unix_ns"`
+}
+
+// leaseManager claims, renews and releases lease files for one worker.
+type leaseManager struct {
+	dir   string // <sweep dir>/leases
+	owner string
+	ttl   time.Duration
+	now   func() time.Time
+}
+
+func newLeaseManager(sweepDir string, sh Shard) *leaseManager {
+	return &leaseManager{
+		dir:   filepath.Join(sweepDir, leasesDir),
+		owner: sh.Owner,
+		ttl:   sh.TTL,
+		now:   time.Now,
+	}
+}
+
+// pathFor returns the lease file path for a cell group.
+func (m *leaseManager) pathFor(groupKey string) string {
+	return filepath.Join(m.dir, fmt.Sprintf("lease-%016x.json", shardHash(groupKey)))
+}
+
+// lease is one held lease.
+type lease struct {
+	m     *leaseManager
+	path  string
+	group string
+}
+
+// claim tries to take the lease for a cell group. It returns (nil, false)
+// when another worker holds a fresh lease; otherwise the claimed lease and
+// whether it was reclaimed from a stale/corrupt predecessor. A fresh claim
+// is an atomic link into place, so exactly one contending worker wins; a
+// stale lease is reclaimed by atomically renaming its inode aside (again,
+// one winner), re-verifying that what was grabbed really is the stale lease
+// — a plain remove+recreate could delete a lease that a faster reclaimer
+// had already replaced — and only then claiming. Losing any of these races
+// is reported as "not claimed".
+func (m *leaseManager) claim(groupKey string) (*lease, bool, error) {
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return nil, false, fmt.Errorf("sweep: create lease dir: %w", err)
+	}
+	l := &lease{m: m, path: m.pathFor(groupKey), group: groupKey}
+	err := l.create()
+	if err == nil {
+		return l, false, nil
+	}
+	if !errors.Is(err, os.ErrExist) {
+		return nil, false, err
+	}
+	rec, rerr := readLease(l.path)
+	if rerr == nil && rec.Owner != m.owner && m.now().UnixNano() < rec.Expires {
+		return nil, false, nil // fresh foreign lease
+	}
+	// Stale, corrupt/torn, or our own (a restarted worker reclaims itself):
+	// take the inode by renaming it to a name private to this owner.
+	aside := fmt.Sprintf("%s.reclaim.%016x", l.path, shardHash(m.owner))
+	if err := os.Rename(l.path, aside); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// Released or reclaimed underneath us; try a fresh claim.
+			if cerr := l.create(); cerr == nil {
+				return l, false, nil
+			} else if errors.Is(cerr, os.ErrExist) {
+				return nil, false, nil
+			} else {
+				return nil, false, cerr
+			}
+		}
+		return nil, false, fmt.Errorf("sweep: reclaim lease: %w", err)
+	}
+	if got, gerr := readLease(aside); gerr == nil && got.Owner != m.owner && m.now().UnixNano() < got.Expires {
+		// Between our read and the rename, a faster reclaimer replaced the
+		// stale lease with a fresh one of its own — we grabbed a live lease.
+		// Put it back (atomically; if a third worker claimed the path in the
+		// gap, leave their lease and just drop the grabbed one: its owner
+		// backs off at the next renew, which at worst duplicates work).
+		if lerr := os.Link(aside, l.path); lerr != nil && !errors.Is(lerr, os.ErrExist) {
+			os.Remove(aside)
+			return nil, false, fmt.Errorf("sweep: reclaim lease: %w", lerr)
+		}
+		os.Remove(aside)
+		return nil, false, nil
+	}
+	os.Remove(aside)
+	if err := l.create(); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return l, true, nil
+}
+
+// create atomically publishes a fresh lease file: the body is written to a
+// private temp file and hard-linked into place. Linking is atomic and fails
+// with EEXIST when the lease exists, so exactly one contender wins AND a
+// visible lease file is always complete — a create-then-write sequence would
+// let a peer read the empty file mid-claim, judge it corrupt, and "reclaim"
+// a lease that was being taken (observed as duplicated groups in two-process
+// runs).
+func (l *lease) create() error {
+	tmp := fmt.Sprintf("%s.claim.%016x", l.path, shardHash(l.m.owner))
+	if err := os.WriteFile(tmp, l.body(), 0o644); err != nil {
+		return fmt.Errorf("sweep: write lease: %w", err)
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, l.path); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return os.ErrExist
+		}
+		return fmt.Errorf("sweep: claim lease: %w", err)
+	}
+	return nil
+}
+
+func (l *lease) body() []byte {
+	rec := leaseRecord{
+		Owner:   l.m.owner,
+		Group:   l.group,
+		Expires: l.m.now().Add(l.m.ttl).UnixNano(),
+	}
+	body, _ := json.Marshal(rec)
+	return append(body, '\n')
+}
+
+// renew extends the lease expiry by atomically replacing the lease file
+// (write-to-temp + rename, so readers never see a torn lease). If the file
+// meanwhile belongs to another owner — this worker stalled past its TTL and a
+// peer reclaimed the group — renew backs off and reports false; the worker
+// keeps running, which at worst duplicates the group's cells with
+// bit-identical records.
+func (l *lease) renew() (bool, error) {
+	if rec, err := readLease(l.path); err == nil && rec.Owner != l.m.owner {
+		return false, nil
+	}
+	tmp := fmt.Sprintf("%s.renew.%016x", l.path, shardHash(l.m.owner))
+	if err := os.WriteFile(tmp, l.body(), 0o644); err != nil {
+		return false, fmt.Errorf("sweep: renew lease: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return false, fmt.Errorf("sweep: renew lease: %w", err)
+	}
+	return true, nil
+}
+
+// release removes the lease file (only if still ours).
+func (l *lease) release() {
+	if rec, err := readLease(l.path); err == nil && rec.Owner != l.m.owner {
+		return
+	}
+	_ = os.Remove(l.path)
+}
+
+// heartbeat renews the lease every interval until the returned stop function
+// is called. Renewal failures are ignored: the lease then simply expires and
+// the group becomes reclaimable, which is safe (duplicate runs append
+// bit-identical records).
+func (l *lease) heartbeat(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if ok, _ := l.renew(); !ok {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+func readLease(path string) (leaseRecord, error) {
+	var rec leaseRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, err
+	}
+	if rec.Owner == "" {
+		return rec, errors.New("sweep: lease without owner")
+	}
+	return rec, nil
+}
+
+// RunSharded executes the cells as one worker of a multi-process sweep: cell
+// groups (cells that differ only in their seeds) are claimed through lease
+// files in the shared sweep directory, groups completed or freshly leased by
+// peers are skipped, and expired leases are reclaimed so a killed worker's
+// groups re-run. In cooperative mode (Shard.Owner set, which requires
+// opts.Store) the call drains the whole sweep: it keeps claiming, re-reading
+// the shared store and waiting on peers until every cell is complete, so the
+// returned results — and the OnResult stream, emitted at the end in index
+// order — are byte-identical to a single-process run no matter how many
+// workers cooperate. In static mode without a store, cells outside this
+// worker's share come back with Err == ErrNotClaimed.
+//
+// Safety does not depend on the leases: every record in the store is keyed by
+// the cell's identity and bit-identical across workers, so the worst a lost
+// lease race can cause is duplicated work, never divergent results.
+func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResult, ShardStats) {
+	sh = sh.withDefaults()
+	n := len(cells)
+	results := make([]engine.CellResult, n)
+	have := make([]bool, n)
+	var stats ShardStats
+
+	// Group the cells by their seedless identity, in first-seen (and hence
+	// deterministic) order.
+	keys := make([]string, n)
+	groupIdx := make(map[string][]int)
+	var order []string
+	for i, c := range cells {
+		keys[i] = c.Key()
+		gk := groupKeyOf(c)
+		if _, ok := groupIdx[gk]; !ok {
+			order = append(order, gk)
+		}
+		groupIdx[gk] = append(groupIdx[gk], i)
+	}
+
+	var lm *leaseManager
+	if sh.Owner != "" && opts.Store != nil {
+		lm = newLeaseManager(opts.Store.Dir(), sh)
+	}
+
+	// Inner runs go through the resumable layer but must not stream: the
+	// sharded coordinator emits the merged results at the end, in index
+	// order, exactly as an unsharded run would.
+	eopts := opts
+	eopts.OnResult = nil
+
+	// fillFromStore copies every store-completed cell of a group into the
+	// results and reports whether the whole group is now present.
+	fillFromStore := func(g []int) bool {
+		all := true
+		for _, i := range g {
+			if have[i] {
+				continue
+			}
+			if opts.Store == nil {
+				all = false
+				continue
+			}
+			if st, ok := opts.Store.Lookup(keys[i]); ok {
+				results[i] = engine.CellResult{
+					Index:   i,
+					Cell:    cells[i],
+					Result:  st.Result,
+					Err:     st.Err,
+					Elapsed: st.Elapsed,
+				}
+				have[i] = true
+				stats.Restored++
+			} else {
+				all = false
+			}
+		}
+		return all
+	}
+
+	// runGroup executes a group's still-missing cells through the resumable
+	// layer (which checkpoints them as they finish).
+	runGroup := func(g []int) {
+		var missing []int
+		for _, i := range g {
+			if !have[i] {
+				missing = append(missing, i)
+			}
+		}
+		sub := make([]engine.Cell, len(missing))
+		for k, i := range missing {
+			sub[k] = cells[i]
+		}
+		res, st := Run(sub, eopts)
+		stats.Executed += st.Executed
+		stats.Restored += st.Restored
+		stats.AppendErrs += st.AppendErrs
+		for k, r := range res {
+			i := missing[k]
+			r.Index = i
+			results[i] = r
+			have[i] = true
+		}
+	}
+
+	allDone := func() bool {
+		for _, h := range have {
+			if !h {
+				return false
+			}
+		}
+		return true
+	}
+
+	ran := make(map[string]bool)
+	for {
+		progress := false
+		for _, gk := range order {
+			g := groupIdx[gk]
+			if fillFromStore(g) {
+				continue
+			}
+			if !sh.mine(gk) {
+				continue
+			}
+			if lm != nil {
+				l, reclaimed, err := lm.claim(gk)
+				if err != nil {
+					// The lease layer itself is broken (unwritable lease
+					// directory, I/O error). Leases only split work — never
+					// correctness — so run the group leaseless rather than
+					// spinning forever on a claim that will never succeed;
+					// the worst case is duplicated, bit-identical records.
+					stats.LeaseErrs++
+					runGroup(g)
+					ran[gk] = true
+					progress = true
+					continue
+				}
+				if l == nil {
+					continue // freshly leased by a peer
+				}
+				if reclaimed {
+					stats.LeasesReclaimed++
+				}
+				// The peer that held this lease may have finished the group
+				// between our store scan and the claim: re-read the store so
+				// only genuinely missing cells run.
+				if opts.Store != nil {
+					_, _ = opts.Store.Reload()
+				}
+				if !fillFromStore(g) {
+					stopHB := l.heartbeat(sh.Heartbeat)
+					runGroup(g)
+					stopHB()
+					ran[gk] = true
+				}
+				// A group that turned out complete after the claim (the peer
+				// released between our store scan and the claim) counts as
+				// skipped, not claimed: no cell of it ran here.
+				l.release()
+			} else {
+				runGroup(g)
+				ran[gk] = true
+			}
+			progress = true
+		}
+		if allDone() {
+			break
+		}
+		if lm == nil {
+			// Static mode without leases never waits: cells outside this
+			// worker's share (and peers' unfinished work) are reported as
+			// not claimed.
+			break
+		}
+		// Cooperative mode drains the sweep: peers hold the remaining
+		// groups, so wait for their records to land in the shared store (or
+		// for their leases to expire and become reclaimable).
+		if !progress {
+			time.Sleep(sh.Poll)
+		}
+		if opts.Store != nil {
+			_, _ = opts.Store.Reload()
+		}
+	}
+
+	for _, gk := range order {
+		if ran[gk] {
+			stats.GroupsClaimed++
+		} else {
+			stats.GroupsSkipped++
+		}
+	}
+	for i := range cells {
+		if !have[i] {
+			results[i] = engine.CellResult{Index: i, Cell: cells[i], Err: ErrNotClaimed}
+		}
+	}
+	if opts.OnResult != nil {
+		// Not-claimed placeholders are a static-mode artifact of the returned
+		// slice, not real cell outcomes: the stream stays a (possibly
+		// partial) prefix-ordered view of what an uninterrupted run would
+		// emit, so collectors never see the sentinel as an errored run.
+		for _, r := range results {
+			if errors.Is(r.Err, ErrNotClaimed) {
+				continue
+			}
+			opts.OnResult(r)
+		}
+	}
+	return results, stats
+}

@@ -1,0 +1,440 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fatgather/fatgather/internal/engine"
+)
+
+// fastShard is a Shard tuned for tests: long enough TTL that healthy workers
+// never lose a lease, short enough poll that waiting is cheap.
+func fastShard(owner string) Shard {
+	return Shard{Owner: owner, TTL: 5 * time.Second, Poll: 10 * time.Millisecond}
+}
+
+// writeStaleLease plants an expired lease for a cell group, as a worker
+// killed mid-group would leave behind.
+func writeStaleLease(t *testing.T, dir string, cell engine.Cell, owner string) string {
+	t.Helper()
+	m := newLeaseManager(dir, Shard{Owner: owner, TTL: time.Minute})
+	m.now = func() time.Time { return time.Now().Add(-2 * time.Minute) }
+	l, reclaimed, err := m.claim(groupKeyOf(cell))
+	if err != nil || l == nil {
+		t.Fatalf("planting stale lease: %v (lease %v)", err, l)
+	}
+	if reclaimed {
+		t.Fatal("planting stale lease reclaimed an existing one")
+	}
+	return l.path
+}
+
+// TestRunShardedTwoConcurrentWorkers is the acceptance test for cooperative
+// sharding: two workers drain one sweep directory concurrently, and each
+// returns the complete result set, bit-identical to a plain engine run —
+// while every cell is executed exactly once across the pair.
+func TestRunShardedTwoConcurrentWorkers(t *testing.T) {
+	cells := smallCells(2)
+	ref := engine.Run(cells, engine.Options{})
+
+	dir := t.TempDir()
+	const workers = 2
+	outs := make([][]engine.CellResult, workers)
+	stats := make([]ShardStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st, err := OpenShared(dir)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			defer st.Close()
+			outs[w], stats[w] = RunSharded(cells, Options{Store: st}, fastShard(fmt.Sprintf("w%d", w)))
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	executed := 0
+	for w := 0; w < workers; w++ {
+		if len(outs[w]) != len(cells) {
+			t.Fatalf("worker %d returned %d results, want %d", w, len(outs[w]), len(cells))
+		}
+		for i := range cells {
+			if outs[w][i].Index != i {
+				t.Fatalf("worker %d result %d has index %d", w, i, outs[w][i].Index)
+			}
+			sameResult(t, fmt.Sprintf("worker %d cell %d", w, i), outs[w][i], ref[i])
+		}
+		executed += stats[w].Executed
+	}
+	// The leases make the split exact: every cell ran exactly once in the
+	// whole fleet, and the store holds each record exactly once.
+	if executed != len(cells) {
+		t.Fatalf("fleet executed %d cells, want exactly %d", executed, len(cells))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, resultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != len(cells) {
+		t.Fatalf("store holds %d records, want %d", got, len(cells))
+	}
+	// All leases were released.
+	entries, err := os.ReadDir(filepath.Join(dir, leasesDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d lease files left behind", len(entries))
+	}
+}
+
+// TestRunShardedReclaimsStaleLease simulates a worker killed mid-sweep: the
+// store holds a prefix of the records and an expired lease guards one of the
+// unfinished groups. A fresh worker must take the lease over, finish the
+// sweep, and return results identical to an uninterrupted run.
+func TestRunShardedReclaimsStaleLease(t *testing.T) {
+	cells := smallCells(1)
+	ref := engine.Run(cells, engine.Options{})
+
+	dir := t.TempDir()
+	st, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead worker completed the first third of the cells...
+	k := len(cells) / 3
+	for i := 0; i < k; i++ {
+		if err := st.Append(cells[i].Key(), ref[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	// ...and died holding the lease on the last cell's group.
+	writeStaleLease(t, dir, cells[len(cells)-1], "dead-worker")
+
+	re, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	res, stats := RunSharded(cells, Options{Store: re}, fastShard("survivor"))
+	if stats.LeasesReclaimed != 1 {
+		t.Fatalf("LeasesReclaimed = %d, want 1", stats.LeasesReclaimed)
+	}
+	if stats.Executed != len(cells)-k {
+		t.Fatalf("Executed = %d, want %d (the dead worker's unfinished cells)", stats.Executed, len(cells)-k)
+	}
+	if stats.Restored != k {
+		t.Fatalf("Restored = %d, want %d", stats.Restored, k)
+	}
+	for i := range cells {
+		sameResult(t, fmt.Sprintf("cell %d", i), res[i], ref[i])
+	}
+}
+
+// TestRunShardedWaitsForFreshForeignLease pins the skip-then-merge path: a
+// group freshly leased by a live peer is not re-run; the worker waits, picks
+// the peer's records up from the shared store once they land, and still
+// returns the full result set.
+func TestRunShardedWaitsForFreshForeignLease(t *testing.T) {
+	cells := smallCells(1)
+	ref := engine.Run(cells, engine.Options{})
+
+	dir := t.TempDir()
+	peerGroup := groupKeyOf(cells[0])
+	var peerIdx []int
+	for i, c := range cells {
+		if groupKeyOf(c) == peerGroup {
+			peerIdx = append(peerIdx, i)
+		}
+	}
+	// The "peer": holds a fresh lease on cells[0]'s group, finishes it after
+	// a delay, then releases.
+	m := newLeaseManager(dir, Shard{Owner: "peer", TTL: time.Minute})
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := m.claim(peerGroup)
+	if err != nil || l == nil {
+		t.Fatalf("peer claim failed: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(100 * time.Millisecond)
+		st, err := OpenShared(dir)
+		if err != nil {
+			t.Errorf("peer: %v", err)
+			return
+		}
+		defer st.Close()
+		for _, i := range peerIdx {
+			if err := st.Append(cells[i].Key(), ref[i]); err != nil {
+				t.Errorf("peer append: %v", err)
+			}
+		}
+		l.release()
+	}()
+
+	st, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, stats := RunSharded(cells, Options{Store: st}, fastShard("waiter"))
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if stats.Restored != len(peerIdx) {
+		t.Fatalf("Restored = %d, want %d (the peer's group)", stats.Restored, len(peerIdx))
+	}
+	if stats.Executed != len(cells)-len(peerIdx) {
+		t.Fatalf("Executed = %d, want %d", stats.Executed, len(cells)-len(peerIdx))
+	}
+	if stats.GroupsSkipped < 1 {
+		t.Fatalf("GroupsSkipped = %d, want >= 1", stats.GroupsSkipped)
+	}
+	for i := range cells {
+		sameResult(t, fmt.Sprintf("cell %d", i), res[i], ref[i])
+	}
+}
+
+// TestLeaseContention pins the O_EXCL claim: many workers racing for the same
+// cell group yield exactly one holder.
+func TestLeaseContention(t *testing.T) {
+	dir := t.TempDir()
+	const workers = 8
+	var won int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := newLeaseManager(dir, Shard{Owner: fmt.Sprintf("w%d", w), TTL: time.Minute})
+			l, reclaimed, err := m.claim("contested-group")
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if reclaimed {
+				t.Errorf("worker %d reclaimed a lease that was never stale", w)
+			}
+			if l != nil {
+				mu.Lock()
+				won++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if won != 1 {
+		t.Fatalf("%d workers won the contested lease, want exactly 1", won)
+	}
+}
+
+// TestLeaseHeartbeatKeepsLeaseFresh exercises renewal under -race: while the
+// heartbeat runs, a foreign worker cannot claim the group even long after the
+// original TTL; once the heartbeat stops, the lease goes stale and is
+// reclaimed.
+func TestLeaseHeartbeatKeepsLeaseFresh(t *testing.T) {
+	dir := t.TempDir()
+	const ttl = 300 * time.Millisecond
+	holder := newLeaseManager(dir, Shard{Owner: "holder", TTL: ttl})
+	l, _, err := holder.claim("hb-group")
+	if err != nil || l == nil {
+		t.Fatalf("claim failed: %v", err)
+	}
+	stop := l.heartbeat(ttl / 6)
+
+	rival := newLeaseManager(dir, Shard{Owner: "rival", TTL: ttl})
+	deadline := time.Now().Add(4 * ttl) // far beyond the unrenewed expiry
+	for time.Now().Before(deadline) {
+		got, reclaimed, err := rival.claim("hb-group")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			t.Fatalf("rival claimed a heartbeating lease (reclaimed=%v)", reclaimed)
+		}
+		time.Sleep(ttl / 10)
+	}
+	stop()
+
+	// Without renewals the lease expires and the rival takes it over.
+	time.Sleep(ttl + ttl/2)
+	got, reclaimed, err := rival.claim("hb-group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !reclaimed {
+		t.Fatalf("rival did not reclaim the expired lease (lease %v, reclaimed %v)", got, reclaimed)
+	}
+}
+
+// TestLeaseCorruptFileIsReclaimed treats a torn lease file (a worker killed
+// mid-write) as stale.
+func TestLeaseCorruptFileIsReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	m := newLeaseManager(dir, Shard{Owner: "w", TTL: time.Minute})
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(m.pathFor("g"), []byte(`{"owner":"dead","exp`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, reclaimed, err := m.claim("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l == nil || !reclaimed {
+		t.Fatalf("corrupt lease not reclaimed (lease %v, reclaimed %v)", l, reclaimed)
+	}
+}
+
+// TestRunShardedStaticPartition pins static mode without a store: the two
+// shards run disjoint, complementary subsets, skipped cells carry
+// ErrNotClaimed, and the union matches the reference run.
+func TestRunShardedStaticPartition(t *testing.T) {
+	cells := smallCells(1)
+	ref := engine.Run(cells, engine.Options{})
+
+	covered := make([]int, len(cells))
+	for idx := 0; idx < 2; idx++ {
+		res, stats := RunSharded(cells, Options{}, Shard{Shards: 2, Index: idx})
+		if stats.Restored != 0 {
+			t.Fatalf("shard %d restored %d cells without a store", idx, stats.Restored)
+		}
+		for i := range cells {
+			if errors.Is(res[i].Err, ErrNotClaimed) {
+				continue
+			}
+			covered[i]++
+			sameResult(t, fmt.Sprintf("shard %d cell %d", idx, i), res[i], ref[i])
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("cell %d covered by %d shards, want exactly 1", i, c)
+		}
+	}
+}
+
+// TestRunShardedStaticWithStoreMerges pins the static+store composition: a
+// second shard run over the same directory restores the first shard's cells
+// and completes the rest, ending with the full result set.
+func TestRunShardedStaticWithStoreMerges(t *testing.T) {
+	cells := smallCells(1)
+	ref := engine.Run(cells, engine.Options{})
+	dir := t.TempDir()
+
+	st0, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats0 := RunSharded(cells, Options{Store: st0}, Shard{Shards: 2, Index: 0})
+	st0.Close()
+	if stats0.Executed == 0 || stats0.Executed == len(cells) {
+		t.Fatalf("shard 0 executed %d of %d cells, want a strict subset", stats0.Executed, len(cells))
+	}
+
+	// Shard 1 (lease mode) waits for shard 0's share — which is already in
+	// the store — and runs only its own.
+	st1, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st1.Close()
+	res, stats1 := RunSharded(cells, Options{Store: st1}, Shard{Owner: "b", Shards: 2, Index: 1, TTL: 5 * time.Second, Poll: 5 * time.Millisecond})
+	if stats1.Executed != len(cells)-stats0.Executed {
+		t.Fatalf("shard 1 executed %d cells, want %d", stats1.Executed, len(cells)-stats0.Executed)
+	}
+	for i := range cells {
+		sameResult(t, fmt.Sprintf("cell %d", i), res[i], ref[i])
+	}
+}
+
+// TestRunShardedOnResultStreamsInOrder pins the collector contract in sharded
+// mode: OnResult fires once per cell, in index order, after the drain.
+func TestRunShardedOnResultStreamsInOrder(t *testing.T) {
+	cells := smallCells(1)
+	dir := t.TempDir()
+	st, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var seen []int
+	RunSharded(cells, Options{Store: st, OnResult: func(r engine.CellResult) {
+		seen = append(seen, r.Index)
+	}}, fastShard("solo"))
+	if len(seen) != len(cells) {
+		t.Fatalf("OnResult fired %d times, want %d", len(seen), len(cells))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("OnResult order broken at %d: got index %d", i, idx)
+		}
+	}
+}
+
+// TestLeaseReclaimContention pins the atomic take-over: many workers racing
+// to reclaim the same stale lease yield exactly one new holder — a
+// remove+recreate reclaim would let a slow racer delete the winner's fresh
+// lease and produce two holders.
+func TestLeaseReclaimContention(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		dir := t.TempDir()
+		writeStaleLease(t, dir, engine.Cell{Workload: "clustered", N: 3}, "dead")
+
+		const workers = 4
+		winners := make([]*lease, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m := newLeaseManager(dir, Shard{Owner: fmt.Sprintf("w%d", w), TTL: time.Minute})
+				l, _, err := m.claim(groupKeyOf(engine.Cell{Workload: "clustered", N: 3}))
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				winners[w] = l
+			}(w)
+		}
+		wg.Wait()
+		var won []*lease
+		for _, l := range winners {
+			if l != nil {
+				won = append(won, l)
+			}
+		}
+		if len(won) != 1 {
+			t.Fatalf("round %d: %d workers hold the reclaimed lease, want exactly 1", round, len(won))
+		}
+		// The lease on disk belongs to the winner.
+		rec, err := readLease(won[0].path)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if rec.Owner != won[0].m.owner {
+			t.Fatalf("round %d: lease on disk owned by %q, winner is %q", round, rec.Owner, won[0].m.owner)
+		}
+	}
+}

@@ -1,10 +1,3 @@
-// Package sweep is the persistent, resumable layer over the batch engine:
-// it streams every engine.CellResult to an on-disk JSONL store as workers
-// finish, and on restart loads the completed-cell set so that only the
-// missing cells are re-run — with tables byte-identical to an uninterrupted
-// run. On top of the store it provides a memoizing workload cache hook and
-// adaptive seed scheduling (grow each cell group's seed replicas until the
-// metric's 95% confidence interval is tight enough, or a cap is reached).
 package sweep
 
 import (
@@ -47,25 +40,25 @@ type record struct {
 // (shortest representation that parses back to the same bits), so a restored
 // result renders byte-identical tables.
 type resultRecord struct {
-	Outcome           int                    `json:"outcome"`
-	Algorithm         string                 `json:"algorithm"`
-	Adversary         string                 `json:"adversary"`
-	N                 int                    `json:"n"`
-	Events            int                    `json:"events"`
-	Cycles            int                    `json:"cycles"`
-	TerminatedCount   int                    `json:"terminated_count"`
-	Collisions        int                    `json:"collisions"`
-	Stops             int                    `json:"stops"`
-	Arrivals          int                    `json:"arrivals"`
-	TotalDistance     float64                `json:"total_distance"`
-	Final             config.Geometric       `json:"final,omitempty"`
-	Milestones        sim.Milestones         `json:"milestones"`
-	StateVisits       map[core.AlgState]int  `json:"state_visits,omitempty"`
-	HullAreaSeries    []float64              `json:"hull_area_series,omitempty"`
-	SpreadSeries      []float64              `json:"spread_series,omitempty"`
-	ConnectedAtEnd    bool                   `json:"connected_at_end"`
-	FullyVisibleAtEnd bool                   `json:"fully_visible_at_end"`
-	Err               string                 `json:"err,omitempty"`
+	Outcome           int                   `json:"outcome"`
+	Algorithm         string                `json:"algorithm"`
+	Adversary         string                `json:"adversary"`
+	N                 int                   `json:"n"`
+	Events            int                   `json:"events"`
+	Cycles            int                   `json:"cycles"`
+	TerminatedCount   int                   `json:"terminated_count"`
+	Collisions        int                   `json:"collisions"`
+	Stops             int                   `json:"stops"`
+	Arrivals          int                   `json:"arrivals"`
+	TotalDistance     float64               `json:"total_distance"`
+	Final             config.Geometric      `json:"final,omitempty"`
+	Milestones        sim.Milestones        `json:"milestones"`
+	StateVisits       map[core.AlgState]int `json:"state_visits,omitempty"`
+	HullAreaSeries    []float64             `json:"hull_area_series,omitempty"`
+	SpreadSeries      []float64             `json:"spread_series,omitempty"`
+	ConnectedAtEnd    bool                  `json:"connected_at_end"`
+	FullyVisibleAtEnd bool                  `json:"fully_visible_at_end"`
+	Err               string                `json:"err,omitempty"`
 }
 
 func toResultRecord(r sim.Result) *resultRecord {
@@ -145,12 +138,31 @@ type Store struct {
 	f        *os.File
 	done     map[string]Stored
 	warnings []string
+	// reloadOff is the byte offset up to which Reload has already parsed the
+	// record file: under OpenShared the file is strictly append-only, so
+	// each Reload only reads the tail the fleet appended since the last one.
+	reloadOff int64
 }
 
 // Open creates (if needed) the sweep directory and loads the completed-cell
 // set from its record file. The returned store is ready for Lookup and
 // Append; Close releases the file handle.
-func Open(dir string) (*Store, error) {
+//
+// Open assumes this process is the only writer: corrupt or truncated lines
+// are compacted away by atomically rewriting the record file. When several
+// processes share one sweep directory (lease-based sharding), use OpenShared
+// instead.
+func Open(dir string) (*Store, error) { return open(dir, false) }
+
+// OpenShared is Open for sweep directories that other live processes may be
+// appending to concurrently. It never compacts the record file on load —
+// rewriting it would race a peer's in-flight appends — so corrupt lines are
+// merely skipped (their cells re-run) and stay in the file until a later
+// exclusive Open compacts them. A schema or engine version mismatch still
+// discards the file: mixed-version records must never cohabit a store.
+func OpenShared(dir string) (*Store, error) { return open(dir, true) }
+
+func open(dir string, shared bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: create dir: %w", err)
 	}
@@ -159,17 +171,24 @@ func Open(dir string) (*Store, error) {
 		path: filepath.Join(dir, resultsFile),
 		done: make(map[string]Stored),
 	}
-	good, dirty, err := s.load()
+	good, corrupt, mismatch, consumed, err := s.load()
 	if err != nil {
 		return nil, err
 	}
-	if dirty {
+	if mismatch || (corrupt && !shared) {
 		// Compact: rewrite only the good records, atomically, so a partial
-		// trailing line never corrupts the records appended after it.
+		// trailing line never corrupts the records appended after it. (On a
+		// version mismatch "good" is empty: the whole file is discarded.)
 		if err := s.rewrite(good); err != nil {
 			return nil, err
 		}
+		consumed = 0
+		for _, line := range good {
+			consumed += int64(len(line)) + 1
+		}
 	}
+	// Reload starts scanning where the initial load stopped.
+	s.reloadOff = consumed
 	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open store: %w", err)
@@ -179,17 +198,20 @@ func Open(dir string) (*Store, error) {
 }
 
 // load reads the record file (if any) into s.done. It returns the raw good
-// lines (for compaction) and whether the file needs rewriting: any corrupt
-// line, or any record from another schema/engine version (which additionally
-// discards everything loaded so far — clean re-run).
-func (s *Store) load() (good []string, dirty bool, err error) {
+// lines (for compaction), what went wrong — corrupt reports skipped lines,
+// mismatch reports a record from another schema/engine version (which
+// additionally discards everything loaded so far — clean re-run) — and the
+// byte offset after the last complete line, so Reload can resume scanning
+// there instead of re-parsing the whole file.
+func (s *Store) load() (good []string, corrupt, mismatch bool, consumed int64, err error) {
 	data, err := os.ReadFile(s.path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, false, nil
+		return nil, false, false, 0, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("sweep: read store: %w", err)
+		return nil, false, false, 0, fmt.Errorf("sweep: read store: %w", err)
 	}
+	consumed = int64(strings.LastIndexByte(string(data), '\n') + 1)
 	lines := strings.Split(string(data), "\n")
 	for i, line := range lines {
 		if strings.TrimSpace(line) == "" {
@@ -199,7 +221,7 @@ func (s *Store) load() (good []string, dirty bool, err error) {
 		if uerr := json.Unmarshal([]byte(line), &rec); uerr != nil || rec.Key == "" {
 			s.warnings = append(s.warnings,
 				fmt.Sprintf("%s:%d: skipping corrupt record (cell will re-run)", s.path, i+1))
-			dirty = true
+			corrupt = true
 			continue
 		}
 		if rec.Schema != SchemaVersion || rec.Engine != engine.Version {
@@ -207,12 +229,73 @@ func (s *Store) load() (good []string, dirty bool, err error) {
 				"%s: schema/engine mismatch (have schema %d engine %q, want schema %d engine %q): discarding store, clean re-run",
 				s.path, rec.Schema, rec.Engine, SchemaVersion, engine.Version))
 			s.done = make(map[string]Stored)
-			return nil, true, nil
+			return nil, corrupt, true, 0, nil
 		}
 		s.done[rec.Key] = rec.stored()
 		good = append(good, line)
 	}
-	return good, dirty, nil
+	return good, corrupt, false, consumed, nil
+}
+
+// Reload reads the record-file tail appended by other processes since the
+// last Reload (the sharded coordinator calls it between claim passes, often
+// on a sub-second poll, so it must not re-parse the whole file every time).
+// Only complete, newline-terminated lines are consumed — a torn trailing
+// line is a peer's append in flight and is left for the next Reload — and
+// corrupt lines or records from another schema/engine version are skipped
+// silently; records already in memory are kept as-is. If the file shrank (an
+// exclusive opener compacted or reset it), the next Reload rescans from the
+// start. It returns the number of newly learned cells.
+func (s *Store) Reload() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.reloadOff = 0
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sweep: reload store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("sweep: reload store: %w", err)
+	}
+	if fi.Size() < s.reloadOff {
+		s.reloadOff = 0 // compacted/reset underneath us: rescan
+	}
+	if fi.Size() == s.reloadOff {
+		return 0, nil
+	}
+	data := make([]byte, fi.Size()-s.reloadOff)
+	if _, err := f.ReadAt(data, s.reloadOff); err != nil {
+		return 0, fmt.Errorf("sweep: reload store: %w", err)
+	}
+	end := strings.LastIndexByte(string(data), '\n')
+	if end < 0 {
+		return 0, nil // only a torn line so far; retry next poll
+	}
+	chunk := string(data[:end+1])
+	s.reloadOff += int64(end + 1)
+	fresh := 0
+	for _, line := range strings.Split(chunk, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec record
+		if uerr := json.Unmarshal([]byte(line), &rec); uerr != nil || rec.Key == "" {
+			continue
+		}
+		if rec.Schema != SchemaVersion || rec.Engine != engine.Version {
+			continue
+		}
+		if _, ok := s.done[rec.Key]; !ok {
+			s.done[rec.Key] = rec.stored()
+			fresh++
+		}
+	}
+	return fresh, nil
 }
 
 func (rec record) stored() Stored {
@@ -300,6 +383,10 @@ func (s *Store) Warnings() []string {
 
 // Path returns the record file path (useful in logs and tests).
 func (s *Store) Path() string { return s.path }
+
+// Dir returns the sweep directory the store lives in (the sharded
+// coordinator keeps its lease files next to the record file).
+func (s *Store) Dir() string { return s.dir }
 
 // Reset discards every stored record: the next run is a clean sweep.
 func (s *Store) Reset() error {

@@ -300,3 +300,72 @@ func TestStoreErroredCellRoundTrip(t *testing.T) {
 		t.Fatalf("error round-trip: %v vs %v", got.Err, res[0].Err)
 	}
 }
+
+// TestStoreReloadIncremental pins Reload's tail-reading contract: records a
+// peer appends are merged without re-parsing the whole file, a torn trailing
+// line is left for the next Reload (and consumed once completed), and a
+// compaction underneath resets the scan.
+func TestStoreReloadIncremental(t *testing.T) {
+	cells := smallCells(1)
+	results := engine.Run(cells[:4], engine.Options{})
+	dir := t.TempDir()
+
+	mine, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mine.Close()
+	peer, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	if err := peer.Append(cells[0].Key(), results[0]); err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err := mine.Reload(); err != nil || fresh != 1 {
+		t.Fatalf("first Reload: fresh=%d err=%v, want 1", fresh, err)
+	}
+	if fresh, err := mine.Reload(); err != nil || fresh != 0 {
+		t.Fatalf("idempotent Reload: fresh=%d err=%v, want 0", fresh, err)
+	}
+
+	// A peer's append in flight: write only half of the next record's line.
+	full, err := os.ReadFile(mine.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Append(cells[1].Key(), results[1]); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := os.ReadFile(mine.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := grown[len(full):]
+	if err := os.WriteFile(mine.Path(), append(full, line[:len(line)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err := mine.Reload(); err != nil || fresh != 0 {
+		t.Fatalf("torn-tail Reload: fresh=%d err=%v, want 0 (line incomplete)", fresh, err)
+	}
+	// The append completes: the record is consumed exactly once.
+	if err := os.WriteFile(mine.Path(), grown, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err := mine.Reload(); err != nil || fresh != 1 {
+		t.Fatalf("completed-tail Reload: fresh=%d err=%v, want 1", fresh, err)
+	}
+	if _, ok := mine.Lookup(cells[1].Key()); !ok {
+		t.Fatal("completed record not merged")
+	}
+
+	// A shrink (exclusive compaction/reset underneath) triggers a rescan.
+	if err := os.WriteFile(mine.Path(), full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if fresh, err := mine.Reload(); err != nil || fresh != 0 {
+		t.Fatalf("post-shrink Reload: fresh=%d err=%v, want 0 (all known)", fresh, err)
+	}
+}

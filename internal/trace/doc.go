@@ -1,0 +1,4 @@
+// Package trace records executions as JSON documents (a sequence of
+// configuration snapshots plus run metadata) so that runs can be archived,
+// replayed, rendered, or re-validated offline.
+package trace

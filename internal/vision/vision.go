@@ -1,17 +1,3 @@
-// Package vision implements the visibility model of the paper: robots are
-// opaque (non-transparent) closed unit discs, and robot ri sees robot rj if
-// there is a straight segment from a point of ri's disc to a point of rj's
-// disc that contains no point of any other robot's disc.
-//
-// Computing that predicate exactly (visibility between two discs amid disc
-// obstacles) is expensive; this package provides a conservative sight-line
-// test: a fixed family of candidate segments between the two discs is tested
-// against all other closed discs. If any candidate is unobstructed the robots
-// are mutually visible. Every candidate is a legitimate witness under the
-// paper's definition, so a "visible" answer is always sound; the
-// approximation may only under-report visibility in contrived near-tangent
-// configurations, and the number of sampled candidates is configurable to
-// tighten it (see Options).
 package vision
 
 import (

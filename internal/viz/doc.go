@@ -1,0 +1,4 @@
+// Package viz renders robot configurations and executions: SVG documents for
+// reports and the paper-figure reproductions, and compact ASCII sketches for
+// terminals and tests.
+package viz

@@ -1,7 +1,3 @@
-// Package workload generates initial robot configurations for experiments:
-// random spreads, clusters, collinear lines (the hardest case for
-// visibility), grids, rings and nested hulls. All generators return valid
-// (non-overlapping) configurations and are deterministic in their seed.
 package workload
 
 import (

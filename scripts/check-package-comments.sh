@@ -1,0 +1,20 @@
+#!/bin/sh
+# check-package-comments.sh fails if any package in the module lacks a godoc
+# package comment. Library packages must have a "// Package <name> ..."
+# comment and package-main ones a "// Command <name> ..." comment (any .go
+# file in the package may carry it; by repo convention it lives in doc.go for
+# libraries and at the top of main.go for commands).
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	if ! grep -l -E '^// (Package|Command) ' "$dir"/*.go >/dev/null 2>&1; then
+		echo "missing package comment: $dir"
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "every package needs a '// Package ...' (or '// Command ...') godoc comment" >&2
+	exit 1
+fi
+echo "package comments: all $(go list ./... | wc -l | tr -d ' ') packages documented"
