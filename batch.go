@@ -18,7 +18,9 @@ type BatchOptions struct {
 	Workloads []Workload
 	// Ns defaults to {8}.
 	Ns []int
-	// Adversaries defaults to {AdversaryRandomAsync}.
+	// Adversaries defaults to {AdversaryRandomAsync}. Entries may be full
+	// adversary spec strings ("crash(2)", "fair+noise=0.1"), so fault
+	// injection rides the batch grid like any other axis.
 	Adversaries []AdversaryName
 	// Algorithms defaults to {AlgorithmPaper}.
 	Algorithms []AlgorithmName
@@ -214,6 +216,9 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 	if opts.Shards > 1 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.Shards) {
 		return BatchResult{}, fmt.Errorf("%w: ShardIndex must be in [0, %d), got %d", ErrBadOptions, opts.Shards, opts.ShardIndex)
 	}
+	if opts.ShardIndex != 0 && opts.Shards <= 1 {
+		return BatchResult{}, fmt.Errorf("%w: ShardIndex %d requires Shards > 1, got %d", ErrBadOptions, opts.ShardIndex, opts.Shards)
+	}
 	if opts.LeaseTTL < 0 {
 		return BatchResult{}, fmt.Errorf("%w: LeaseTTL must be non-negative, got %v", ErrBadOptions, opts.LeaseTTL)
 	}
@@ -296,7 +301,9 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 			"sweep: %d results could not be checkpointed and will re-run on resume", stats.AppendErrs))
 	}
 	col := engine.NewCollector(func(r engine.CellResult) string {
-		return fmt.Sprintf("%s|%s|%d|%s", r.Cell.AlgorithmName(), r.Cell.Workload, r.Cell.N, r.Cell.AdversaryName())
+		// The full adversary label (base strategy + fault decorations) keys
+		// the groups, so "crash(1)" and "crash(2)" cells never merge.
+		return fmt.Sprintf("%s|%s|%d|%s", r.Cell.AlgorithmName(), r.Cell.Workload, r.Cell.N, r.Cell.AdversaryLabel())
 	})
 	for _, r := range results {
 		col.Add(r)
@@ -317,7 +324,7 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 			Cell: BatchCell{
 				Workload:      Workload(r.Cell.Workload),
 				N:             r.Cell.N,
-				Adversary:     AdversaryName(r.Cell.AdversaryName()),
+				Adversary:     AdversaryName(r.Cell.AdversaryLabel()),
 				Algorithm:     AlgorithmName(r.Cell.AlgorithmName()),
 				Seed:          r.Cell.WorkloadSeed,
 				AdversarySeed: r.Cell.AdversarySeed,
@@ -334,7 +341,7 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		out.Groups[i] = BatchGroup{
 			Workload:       Workload(g.Sample.Workload),
 			N:              g.Sample.N,
-			Adversary:      AdversaryName(g.Sample.AdversaryName()),
+			Adversary:      AdversaryName(g.Sample.AdversaryLabel()),
 			Algorithm:      AlgorithmName(g.Sample.AlgorithmName()),
 			Runs:           g.Runs,
 			Errors:         g.Errors,

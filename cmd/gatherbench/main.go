@@ -1,11 +1,12 @@
-// Command gatherbench runs the experiment suite (E1..E12, defined in
+// Command gatherbench runs the experiment suite (E1..E15, defined in
 // internal/experiments — see the package's godoc for the index) and prints
 // each resulting table. Individual experiments can be selected by id; the
-// multi-run experiments (E5, E7, E9, E10, E11) are executed on the parallel
-// batch engine, whose results are bit-identical for any worker count, can
-// checkpoint every cell result to disk so that a killed sweep resumes where
-// it stopped, and can be sharded across processes (or hosts on a shared
-// filesystem) that cooperatively drain one sweep directory.
+// multi-run experiments (E5, E7, E9, E10, E11, E13, E14, E15) are executed
+// on the parallel batch engine, whose results are bit-identical for any
+// worker count, can checkpoint every cell result to disk so that a killed
+// sweep resumes where it stopped, and can be sharded across processes (or
+// hosts on a shared filesystem) that cooperatively drain one sweep
+// directory.
 //
 // Example:
 //
@@ -16,12 +17,29 @@
 //	gatherbench -out sweep/ -resume         # re-run only the missing cells
 //	gatherbench -adaptive-ci 500            # grow seeds until CI is tight
 //
+// Robustness: the single-adversary experiments accept an adversary override
+// and fault-injection knobs (crash-stop robots, bounded sensor noise,
+// bounded movement truncation), composed into one adversary spec:
+//
+//	gatherbench -only E5 -adversary greedy-stall   # worst-case scheduling
+//	gatherbench -only E5 -crash 2                  # 2 robots crash-stop
+//	gatherbench -only E10 -adversary fair -noise 0.1 -trunc 0.2
+//	gatherbench -only E13,E14,E15                  # the robustness suite
+//
 // Sharded: run one of these per terminal/host — they split the work through
 // lease files in the shared sweep directory, re-run a killed peer's cells
 // once its leases expire, and each print the same byte-identical tables:
 //
 //	gatherbench -only E5 -out sweep/ -shard-owner "$(hostname)-$$"
 //	gatherbench -only E5 -shards 2 -shard-id 0   # static split, no shared dir
+//
+// Merge: static shards that ran WITHOUT a shared filesystem each hold a
+// partial store; copy the sweep directories to one host and merge them
+// (records from a different engine version are rejected), then resume from
+// the merged store to render the full tables:
+//
+//	gatherbench merge -out merged/ sweepA/ sweepB/
+//	gatherbench -only E5 -out merged/ -resume
 package main
 
 import (
@@ -29,10 +47,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/experiments"
+	"github.com/fatgather/fatgather/internal/sweep"
 )
 
 func main() {
@@ -43,12 +65,19 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(args[1:], out)
+	}
 	fs := flag.NewFlagSet("gatherbench", flag.ContinueOnError)
 	seeds := fs.Int("seeds", 3, "seeds per experiment cell (must be positive)")
 	maxEvents := fs.Int("max-events", 150000, "event budget per run (must be positive)")
 	workers := fs.Int("workers", 0, "worker pool size for the batch engine (0 = all cores; results are identical for any value)")
 	timing := fs.Bool("timing", false, "print wall-clock per experiment")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	adv := fs.String("adversary", "", "adversary spec overriding the single-adversary experiments (E5, E7, E10, E11): a strategy name (fair, random-async, stop-happy, slow-robot, mover-starver, greedy-stall, round-robin-lag, crash) optionally decorated with faults, e.g. \"crash(2)\" or \"fair+noise=0.1+trunc=0.2\"")
+	crash := fs.Int("crash", 0, "crash-stop fault: this many robots permanently stop after their first completed move (composes with -adversary; alone it implies the crash strategy over fair scheduling)")
+	noise := fs.Float64("noise", 0, "sensor-noise fault: every sensed non-self center is displaced by a uniform offset of at most this distance (composes with -adversary)")
+	trunc := fs.Float64("trunc", 0, "motion-truncation fault: each move grant is scaled by a uniform factor in (1-trunc, 1], possibly undercutting the liveness delta (composes with -adversary; must be < 1)")
 	outDir := fs.String("out", "", "sweep directory: stream every cell result to <out>/<experiment> as workers finish")
 	resume := fs.Bool("resume", false, "re-use completed cells found in -out and run only the missing ones (requires -out)")
 	adaptiveCI := fs.Float64("adaptive-ci", 0, "adaptive seed scheduling: grow each cell group's seeds until the 95% CI half-width of its event count falls below this target (0 = fixed seeds)")
@@ -100,7 +129,28 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-shard-id requires -shards > 1")
 	}
 	if (*shardOwner != "" || *shards > 1) && *adaptiveCI > 0 {
-		return fmt.Errorf("-adaptive-ci does not compose with sharding (shards could not agree on the data-dependent adaptive grid)")
+		// The adaptive grid is data-dependent, so shards cannot agree on it.
+		// Degrade loudly instead of rejecting: the experiments layer runs the
+		// complete adaptive sweep unsharded in this process (byte-identical
+		// to a plain adaptive run) and opens a shared -out store in
+		// no-compact, no-reset mode, so peers given the same flags merely
+		// duplicate the sweep with bit-identical records. The sharding flags
+		// are passed through — the experiments layer needs them to pick the
+		// shared-store mode.
+		fmt.Fprintln(os.Stderr, "gatherbench: -adaptive-ci does not compose with sharding; running the full adaptive sweep unsharded in this process")
+	}
+	if *crash < 0 {
+		return fmt.Errorf("-crash must be non-negative, got %d", *crash)
+	}
+	if *noise < 0 {
+		return fmt.Errorf("-noise must be non-negative, got %g", *noise)
+	}
+	if *trunc < 0 || *trunc >= 1 {
+		return fmt.Errorf("-trunc must be in [0, 1), got %g", *trunc)
+	}
+	advSpecStr, err := adversarySpecFromFlags(*adv, *crash, *noise, *trunc)
+	if err != nil {
+		return err
 	}
 	if *outDir != "" {
 		// Fail before running anything if the sweep directory is unusable.
@@ -111,6 +161,7 @@ func run(args []string, out io.Writer) error {
 	cfg := experiments.Config{
 		Seeds:            *seeds,
 		MaxEvents:        *maxEvents,
+		Adversary:        advSpecStr,
 		Workers:          *workers,
 		SweepDir:         *outDir,
 		Resume:           *resume || *shardOwner != "",
@@ -123,6 +174,11 @@ func run(args []string, out io.Writer) error {
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "gatherbench: "+format+"\n", args...)
 		},
+	}
+	// Backstop: the flag checks above should leave no invalid combination,
+	// but the library-level validation is the single source of truth.
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 
 	suite := experiments.Suite()
@@ -156,6 +212,122 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "-- %s: %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Fprintln(out, table.String())
+	}
+	return nil
+}
+
+// adversarySpecFromFlags composes -adversary with the fault flags into one
+// canonical spec string ("" when no flag was given, so the experiments keep
+// their per-driver defaults). Fault flags set to non-zero values override the
+// same fault inside -adversary; -crash alone implies the crash strategy.
+func adversarySpecFromFlags(adv string, crash int, noise, trunc float64) (string, error) {
+	if adv == "" && crash == 0 && noise == 0 && trunc == 0 {
+		return "", nil
+	}
+	var spec adversary.Spec
+	if adv != "" {
+		var err error
+		spec, err = adversary.ParseSpec(adv)
+		if err != nil {
+			return "", fmt.Errorf("-adversary: %w", err)
+		}
+	} else if crash > 0 {
+		spec.Strategy = adversary.NameCrash
+	} else {
+		// A bare fault flag perturbs the friendliest schedule, isolating the
+		// fault from scheduling hostility (the E15 convention).
+		spec.Strategy = adversary.NameFair
+	}
+	if crash > 0 {
+		spec.Crash = crash
+	}
+	if noise > 0 {
+		spec.Noise = noise
+	}
+	if trunc > 0 {
+		spec.Trunc = trunc
+	}
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	return spec.String(), nil
+}
+
+// runMerge implements the "merge" subcommand: combine the stores of sweep
+// directories produced by static shards that ran without a shared filesystem.
+// Each source may be a flat store (a directory holding results.jsonl) or a
+// gatherbench -out directory (one store per experiment subdirectory); the
+// layout is reproduced under -out. Records from a different engine or schema
+// version are rejected with a warning. Merging is idempotent, and the merged
+// directory is a normal sweep store: resume from it (-out merged/ -resume) to
+// render the combined tables.
+func runMerge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gatherbench merge", flag.ContinueOnError)
+	outDir := fs.String("out", "", "destination sweep directory the sources are merged into (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srcs := fs.Args()
+	if *outDir == "" {
+		return fmt.Errorf("merge: -out is required (the directory to merge into)")
+	}
+	if len(srcs) == 0 {
+		return fmt.Errorf("merge: no source directories given (usage: gatherbench merge -out merged/ dir1 dir2 ...)")
+	}
+	warnf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gatherbench: merge: "+format+"\n", args...)
+	}
+	// Group the sources by store layout: a flat store merges into -out
+	// directly; a per-experiment layout merges subdirectory-wise.
+	flat := make([]string, 0, len(srcs))
+	perExp := make(map[string][]string)
+	var expOrder []string
+	for _, src := range srcs {
+		if _, err := os.Stat(filepath.Join(src, "results.jsonl")); err == nil {
+			flat = append(flat, src)
+			continue
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		found := false
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(src, e.Name(), "results.jsonl")); err != nil {
+				continue
+			}
+			if _, ok := perExp[e.Name()]; !ok {
+				expOrder = append(expOrder, e.Name())
+			}
+			perExp[e.Name()] = append(perExp[e.Name()], filepath.Join(src, e.Name()))
+			found = true
+		}
+		if !found {
+			return fmt.Errorf("merge: %s holds no sweep store (no results.jsonl at the top level or one directory below)", src)
+		}
+	}
+	sort.Strings(expOrder)
+	report := func(dst string, st sweep.MergeStats) {
+		fmt.Fprintf(out, "merged %d records into %s (%d already present, %d sources)\n",
+			st.Added, dst, st.Skipped, st.Sources)
+	}
+	if len(flat) > 0 {
+		st, err := sweep.MergeDirs(*outDir, flat, warnf)
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		report(*outDir, st)
+	}
+	for _, exp := range expOrder {
+		dst := filepath.Join(*outDir, exp)
+		st, err := sweep.MergeDirs(dst, perExp[exp], warnf)
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		report(dst, st)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +28,11 @@ func TestRunRejectsDegenerateFlags(t *testing.T) {
 		{"adaptive cap without target", []string{"-adaptive-max-seeds", "8"}, "-adaptive-max-seeds requires -adaptive-ci"},
 		{"unknown experiment", []string{"-only", "E99"}, "unknown experiment id"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"unknown adversary", []string{"-adversary", "bogus"}, "unknown adversary strategy"},
+		{"malformed adversary spec", []string{"-adversary", "fair+noise=abc"}, "bad noise bound"},
+		{"negative crash", []string{"-crash", "-1"}, "-crash must be non-negative"},
+		{"negative noise", []string{"-noise", "-0.1"}, "-noise must be non-negative"},
+		{"full truncation", []string{"-trunc", "1"}, "-trunc must be in [0, 1)"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -114,9 +120,11 @@ func TestRunRejectsBadShardFlags(t *testing.T) {
 		{"lease-ttl without owner", []string{"-lease-ttl", "10s"}, "-lease-ttl requires -shard-owner"},
 		{"negative lease-ttl", []string{"-shard-owner", "w", "-out", t.TempDir(), "-lease-ttl", "-1s"}, "-lease-ttl must be non-negative"},
 		{"negative shards", []string{"-shards", "-1"}, "-shards must be non-negative"},
-		{"shard-id out of range", []string{"-shards", "2", "-shard-id", "2"}, "-shard-id must be in [0, 2)"},
-		{"shard-id without shards", []string{"-shard-id", "1"}, "-shard-id requires -shards"},
-		{"sharding with adaptive", []string{"-shard-owner", "w", "-out", t.TempDir(), "-adaptive-ci", "100"}, "does not compose with sharding"},
+		{"shard-id equal to shards", []string{"-shards", "2", "-shard-id", "2"}, "-shard-id must be in [0, 2)"},
+		{"shard-id above shards", []string{"-shards", "2", "-shard-id", "5"}, "-shard-id must be in [0, 2)"},
+		{"negative shard-id", []string{"-shards", "2", "-shard-id", "-1"}, "-shard-id must be in [0, 2)"},
+		{"bare shard-id", []string{"-shard-id", "1"}, "-shard-id requires -shards"},
+		{"shard-id with shards=1", []string{"-shards", "1", "-shard-id", "1"}, "-shard-id requires -shards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -204,5 +212,197 @@ func TestRunStaticShardsFlag(t *testing.T) {
 	}
 	if shard1.String() != want.String() {
 		t.Fatalf("merged static shard output differs:\n%s\nvs\n%s", shard1.String(), want.String())
+	}
+}
+
+// readStoreKeys parses a results.jsonl and returns every record's cell key
+// (in file order, duplicates preserved).
+func readStoreKeys(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("corrupt store line %q: %v", line, err)
+		}
+		keys = append(keys, rec.Key)
+	}
+	return keys
+}
+
+// TestRunAdaptiveComposesWithShardOwner drives -adaptive-ci and -shard-owner
+// in one run: the process must degrade loudly to an unsharded adaptive sweep
+// — byte-identical tables to a plain single-process adaptive run, and no
+// seed replica executed (checkpointed) twice.
+func TestRunAdaptiveComposesWithShardOwner(t *testing.T) {
+	adaptive := []string{"-only", "E5", "-seeds", "2", "-max-events", "1200",
+		"-adaptive-ci", "0.000001", "-adaptive-max-seeds", "3"}
+
+	var plain strings.Builder
+	plainDir := t.TempDir()
+	if err := run(append(adaptive, "-out", plainDir), &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	var sharded strings.Builder
+	shardDir := t.TempDir()
+	if err := run(append(adaptive, "-out", shardDir, "-shard-owner", "w1"), &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != sharded.String() {
+		t.Fatalf("adaptive tables differ with -shard-owner:\n%s\nvs\n%s", plain.String(), sharded.String())
+	}
+
+	keys := readStoreKeys(t, filepath.Join(shardDir, "E5", "results.jsonl"))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("seed replica %q checkpointed twice (duplicated work)", k)
+		}
+		seen[k] = true
+	}
+	plainKeys := readStoreKeys(t, filepath.Join(plainDir, "E5", "results.jsonl"))
+	if len(keys) != len(plainKeys) {
+		t.Fatalf("sharded adaptive run executed %d cells, plain adaptive %d", len(keys), len(plainKeys))
+	}
+}
+
+// TestMergeSubcommand pins the static-shard merge path end to end: two
+// shards sweep disjoint cell groups into separate directories (no shared
+// filesystem), merge combines them, and resuming from the merged store
+// renders tables byte-identical to an unsharded run.
+func TestMergeSubcommand(t *testing.T) {
+	base := []string{"-only", "E5", "-seeds", "2", "-max-events", "1200"}
+
+	refDir := t.TempDir()
+	var want strings.Builder
+	if err := run(append(base, "-out", refDir), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	var shard0, shard1 strings.Builder
+	if err := run(append(base, "-out", dirA, "-shards", "2", "-shard-id", "0"), &shard0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-out", dirB, "-shards", "2", "-shard-id", "1"), &shard1); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := t.TempDir()
+	var mergeOut strings.Builder
+	if err := run([]string{"merge", "-out", merged, dirA, dirB}, &mergeOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mergeOut.String(), "merged ") {
+		t.Fatalf("merge printed no summary:\n%s", mergeOut.String())
+	}
+
+	mergedKeys := readStoreKeys(t, filepath.Join(merged, "E5", "results.jsonl"))
+	refKeys := readStoreKeys(t, filepath.Join(refDir, "E5", "results.jsonl"))
+	if len(mergedKeys) != len(refKeys) {
+		t.Fatalf("merged store holds %d records, reference %d", len(mergedKeys), len(refKeys))
+	}
+
+	var resumed strings.Builder
+	if err := run(append(base, "-out", merged, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != want.String() {
+		t.Fatalf("resume from merged store differs from unsharded run:\n%s\nvs\n%s", resumed.String(), want.String())
+	}
+	after := readStoreKeys(t, filepath.Join(merged, "E5", "results.jsonl"))
+	if len(after) != len(mergedKeys) {
+		t.Fatalf("resume from merged store re-ran cells: %d -> %d records", len(mergedKeys), len(after))
+	}
+}
+
+// TestMergeRejectsMismatchedEngineVersion pins the version gate: a source
+// store written by a different engine version contributes nothing.
+func TestMergeRejectsMismatchedEngineVersion(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "E5")
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := `{"schema":1,"engine":"fatgather-engine/0-stale","key":"k1","elapsed_ns":1}` + "\n"
+	if err := os.WriteFile(filepath.Join(src, "results.jsonl"), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"merge", "-out", merged, filepath.Dir(src)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "merged 0 records") {
+		t.Fatalf("stale-version records were not rejected:\n%s", out.String())
+	}
+	// The rejected source must be left untouched for inspection.
+	data, err := os.ReadFile(filepath.Join(src, "results.jsonl"))
+	if err != nil || string(data) != stale {
+		t.Fatalf("merge modified a rejected source store: %q, %v", data, err)
+	}
+}
+
+// TestMergeRejectsBadUsage covers the merge subcommand's own flag errors.
+func TestMergeRejectsBadUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing out", []string{"merge", t.TempDir()}, "-out is required"},
+		{"no sources", []string{"merge", "-out", t.TempDir()}, "no source directories"},
+		{"source without store", []string{"merge", "-out", t.TempDir(), t.TempDir()}, "holds no sweep store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tc.args, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %v does not contain %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunAdversaryAndFaultFlags drives the robustness flags end to end: the
+// adversary override and each fault knob must change the E5 table (and the
+// run must succeed), while an explicit fair override matches the fair spec.
+func TestRunAdversaryAndFaultFlags(t *testing.T) {
+	base := []string{"-only", "E5", "-seeds", "1", "-max-events", "800"}
+	outputs := make(map[string]string)
+	for name, extra := range map[string][]string{
+		"default":      nil,
+		"greedy-stall": {"-adversary", "greedy-stall"},
+		"crash":        {"-crash", "2"},
+		"noise":        {"-adversary", "fair", "-noise", "0.3"},
+		"trunc":        {"-adversary", "fair+trunc=0.5"},
+	} {
+		var out strings.Builder
+		if err := run(append(append([]string{}, base...), extra...), &out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out.String(), "== E5:") {
+			t.Fatalf("%s: table missing:\n%s", name, out.String())
+		}
+		outputs[name] = out.String()
+	}
+	for name, got := range outputs {
+		if name == "default" {
+			continue
+		}
+		if got == outputs["default"] {
+			t.Fatalf("%s: override did not change the E5 table", name)
+		}
 	}
 }

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/baseline"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/geom"
-	"github.com/fatgather/fatgather/internal/sched"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/vision"
 	"github.com/fatgather/fatgather/internal/viz"
@@ -44,7 +44,11 @@ func Workloads() []Workload {
 	return out
 }
 
-// AdversaryName names a scheduling strategy.
+// AdversaryName names a scheduling strategy. Any value may also be a full
+// adversary spec string composing fault injection onto a base strategy:
+// "crash(2)" crash-stops two robots after their first move,
+// "fair+noise=0.1" bounds sensor noise, "+trunc=0.2" truncates motion
+// (see internal/adversary.ParseSpec for the grammar).
 type AdversaryName string
 
 // Available adversaries.
@@ -54,11 +58,20 @@ const (
 	AdversaryStopHappy    AdversaryName = "stop-happy"
 	AdversarySlowRobot    AdversaryName = "slow-robot"
 	AdversaryMoverStarver AdversaryName = "mover-starver"
+	// AdversaryGreedyStall delays the robot whose move would shrink the
+	// convex hull most.
+	AdversaryGreedyStall AdversaryName = "greedy-stall"
+	// AdversaryRoundRobinLag maximally skews activation phases: each robot
+	// runs a full Look-Compute-Move cycle before the next robot acts.
+	AdversaryRoundRobinLag AdversaryName = "round-robin-lag"
+	// AdversaryCrash permanently stops one robot after its first completed
+	// move (use the spec form "crash(k)" for k robots).
+	AdversaryCrash AdversaryName = "crash"
 )
 
-// Adversaries lists all built-in adversary names.
+// Adversaries lists all built-in base adversary names.
 func Adversaries() []AdversaryName {
-	names := sched.Names()
+	names := adversary.Names()
 	out := make([]AdversaryName, len(names))
 	for i, n := range names {
 		out[i] = AdversaryName(n)
@@ -157,13 +170,13 @@ func Run(opts Options) (Result, error) {
 	if advSeed == 0 {
 		advSeed = opts.Seed
 	}
-	adv, err := adversaryFor(opts.Adversary, advSeed)
+	strat, err := adversaryFor(opts.Adversary, advSeed)
 	if err != nil {
 		return Result{}, err
 	}
 	res, err := sim.Run(initial, sim.Options{
 		Algorithm:        alg,
-		Adversary:        adv,
+		Strategy:         strat,
 		Delta:            opts.Delta,
 		MaxEvents:        opts.MaxEvents,
 		StopWhenGathered: opts.StopWhenGathered,
@@ -265,18 +278,22 @@ func algorithmFor(name AlgorithmName) (sim.Algorithm, error) {
 	}
 }
 
-func adversaryFor(name AdversaryName, seed int64) (sched.Adversary, error) {
+func adversaryFor(name AdversaryName, seed int64) (adversary.Strategy, error) {
 	if seed == 0 {
 		seed = 1
 	}
 	if name == "" {
 		name = AdversaryRandomAsync
 	}
-	ctor, ok := sched.Registry(seed)[string(name)]
-	if !ok {
-		return nil, fmt.Errorf("%w: unknown adversary %q", ErrBadOptions, name)
+	spec, err := adversary.ParseSpec(string(name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
 	}
-	return ctor(), nil
+	strat, err := adversary.New(spec, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	return strat, nil
 }
 
 func toPoints(cfg config.Geometric) []Point {

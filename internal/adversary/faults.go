@@ -1,0 +1,92 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/sched"
+)
+
+// Faults decorates a base strategy with bounded sensing and motion faults:
+// sensor noise (each sensed non-self center displaced by a uniform offset of
+// at most Noise) and movement truncation (each Move grant scaled by a uniform
+// factor in (1-Trunc, 1]). It implements Perturber; the simulator applies the
+// hooks after the Look snapshot and after the liveness clamp.
+//
+// Both faults draw from one RNG stream seeded at construction, independent of
+// the base strategy's, so (spec, seed) still pins the run bit-exactly.
+type Faults struct {
+	inner Strategy
+	noise float64
+	trunc float64
+	rng   *rand.Rand
+}
+
+// NewFaults wraps a base strategy with seeded noise and truncation faults.
+func NewFaults(inner Strategy, noise, trunc float64, seed int64) *Faults {
+	return &Faults{inner: inner, noise: noise, trunc: trunc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (f *Faults) Name() string {
+	name := f.inner.Name()
+	if f.noise > 0 {
+		name += fmt.Sprintf("+noise=%g", f.noise)
+	}
+	if f.trunc > 0 {
+		name += fmt.Sprintf("+trunc=%g", f.trunc)
+	}
+	return name
+}
+
+// Next implements Strategy, delegating to the base strategy.
+func (f *Faults) Next(candidates []int, env Env) int { return f.inner.Next(candidates, env) }
+
+// Move implements Strategy, delegating to the base strategy.
+func (f *Faults) Move(id int, remaining float64, env Env) sched.MoveAction {
+	return f.inner.Move(id, remaining, env)
+}
+
+// PerturbView implements Perturber: every sensed center except the robot's
+// own observation is displaced uniformly within a disc of radius noise. The
+// perturbation only corrupts the snapshot the local algorithm sees — the
+// physical configuration is untouched, and motion is still truncated at real
+// tangency, so the no-overlap invariant cannot be violated by noise alone.
+func (f *Faults) PerturbView(_ int, self geom.Vec, view []geom.Vec) []geom.Vec {
+	if f.noise <= 0 {
+		return view
+	}
+	out := make([]geom.Vec, len(view))
+	for i, c := range view {
+		if c.EqWithin(self, geom.Eps) {
+			out[i] = c // self-observation stays exact
+			continue
+		}
+		theta := f.rng.Float64() * 2 * math.Pi
+		rad := f.noise * math.Sqrt(f.rng.Float64())
+		out[i] = c.Add(geom.V(rad*math.Cos(theta), rad*math.Sin(theta)))
+	}
+	return out
+}
+
+// PerturbMove implements Perturber: the granted distance is scaled by a
+// uniform factor in (1-trunc, 1]. The result may undercut the liveness
+// minimum-progress delta — exactly the fault E15 measures the tolerance for.
+func (f *Faults) PerturbMove(_ int, granted, remaining float64) float64 {
+	if f.trunc <= 0 {
+		return granted
+	}
+	scaled := granted * (1 - f.trunc*f.rng.Float64())
+	if scaled > remaining {
+		scaled = remaining
+	}
+	return scaled
+}
+
+// Compile-time interface checks.
+var (
+	_ Strategy  = (*Faults)(nil)
+	_ Perturber = (*Faults)(nil)
+)

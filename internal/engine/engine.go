@@ -10,9 +10,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/metrics"
-	"github.com/fatgather/fatgather/internal/sched"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/vision"
 	"github.com/fatgather/fatgather/internal/workload"
@@ -44,10 +44,19 @@ type Cell struct {
 	// Algorithm implementations must be stateless (all built-ins are), since
 	// a single value may be shared by many concurrent cells.
 	Algorithm sim.Algorithm
-	// Adversary names a sched.Registry strategy; "" means DefaultAdversary.
-	// The adversary instance is constructed per cell from AdversarySeed.
+	// Adversary names a base adversary strategy (adversary.Names); "" means
+	// DefaultAdversary. The strategy instance is constructed per cell from
+	// AdversarySeed.
 	Adversary     string
 	AdversarySeed int64
+	// Crash, Noise and Trunc are the cell's fault-injection knobs (see
+	// adversary.Spec): crash-stopped robot count, sensor noise radius and
+	// movement truncation fraction. All zero means the fault-free adversary,
+	// whose cell key — and therefore stored sweep identity — is unchanged
+	// from pre-fault builds.
+	Crash int
+	Noise float64
+	Trunc float64
 	// Delta, MaxEvents, SnapshotEvery and StopWhenGathered are forwarded to
 	// sim.Options.
 	Delta            float64
@@ -66,13 +75,28 @@ func (c Cell) AlgorithmName() string {
 	return c.Algorithm.Name()
 }
 
-// AdversaryName returns the effective adversary registry name.
+// AdversaryName returns the effective base adversary strategy name (without
+// fault decorations; see AdversaryLabel for the full spec string).
 func (c Cell) AdversaryName() string {
 	if c.Adversary == "" {
 		return DefaultAdversary
 	}
 	return c.Adversary
 }
+
+// AdversarySpec returns the cell's full adversary description — base
+// strategy plus fault knobs — in normalized form (the "crash" strategy's
+// implicit Crash=1 made explicit), so equal adversaries always produce equal
+// specs, labels and keys regardless of how the cell was built.
+func (c Cell) AdversarySpec() adversary.Spec {
+	spec := adversary.Spec{Strategy: c.AdversaryName(), Crash: c.Crash, Noise: c.Noise, Trunc: c.Trunc}
+	return spec.Normalized()
+}
+
+// AdversaryLabel returns the canonical spec string of the cell's adversary
+// ("crash(2)", "fair+noise=0.1"); equal to AdversaryName for fault-free
+// cells. Reports use it to label robustness rows.
+func (c Cell) AdversaryLabel() string { return c.AdversarySpec().String() }
 
 // Key returns the canonical identity string of the cell: every field that
 // influences the cell's result is folded in (explicit initial configurations
@@ -89,6 +113,20 @@ func (c Cell) Key() string {
 	fmt.Fprintf(&b, "|alg=%s|adv=%s|as=%d|delta=%g|me=%d|snap=%d|stop=%t",
 		c.AlgorithmName(), c.AdversaryName(), c.AdversarySeed,
 		c.Delta, c.MaxEvents, c.SnapshotEvery, c.StopWhenGathered)
+	// Fault knobs are appended only when set, so fault-free cells keep their
+	// historic keys and stored sweeps stay resumable across this addition.
+	// The normalized spec supplies the values, so Cell{Adversary: "crash"}
+	// (implicit Crash=1) and its explicit Crash=1 twin share one identity.
+	spec := c.AdversarySpec()
+	if spec.Crash != 0 {
+		fmt.Fprintf(&b, "|crash=%d", spec.Crash)
+	}
+	if spec.Noise != 0 {
+		fmt.Fprintf(&b, "|noise=%g", spec.Noise)
+	}
+	if spec.Trunc != 0 {
+		fmt.Fprintf(&b, "|trunc=%g", spec.Trunc)
+	}
 	if c.Vision != nil {
 		fmt.Fprintf(&b, "|vis=%s", c.Vision.Fingerprint())
 	}
@@ -141,8 +179,8 @@ func (c Cell) Validate() error {
 	if c.SnapshotEvery < 0 {
 		return fmt.Errorf("SnapshotEvery must be non-negative, got %d", c.SnapshotEvery)
 	}
-	if _, ok := sched.Registry(1)[c.AdversaryName()]; !ok {
-		return fmt.Errorf("unknown adversary %q", c.AdversaryName())
+	if err := c.AdversarySpec().Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -187,13 +225,13 @@ func (c Cell) runWith(gen WorkloadFunc) (sim.Result, error) {
 			return sim.Result{}, fmt.Errorf("engine: cell workload: %w", err)
 		}
 	}
-	ctor, ok := sched.Registry(c.AdversarySeed)[c.AdversaryName()]
-	if !ok {
-		return sim.Result{}, fmt.Errorf("engine: unknown adversary %q", c.AdversaryName())
+	strat, err := adversary.New(c.AdversarySpec(), c.AdversarySeed)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("engine: %w", err)
 	}
 	return sim.Run(initial, sim.Options{
 		Algorithm:        c.Algorithm,
-		Adversary:        ctor(),
+		Strategy:         strat,
 		Vision:           c.Vision,
 		Delta:            c.Delta,
 		MaxEvents:        c.MaxEvents,
@@ -335,7 +373,9 @@ type Batch struct {
 	Workloads []workload.Kind
 	// Ns defaults to {8}.
 	Ns []int
-	// Adversaries defaults to {DefaultAdversary}.
+	// Adversaries defaults to {DefaultAdversary}. Entries are adversary spec
+	// strings (adversary.ParseSpec), so fault decorations ride along in the
+	// grid: "fair", "crash(2)", "random-async+noise=0.1".
 	Adversaries []string
 	// Algorithms defaults to {nil} (the paper's algorithm).
 	Algorithms []sim.Algorithm
@@ -399,8 +439,22 @@ func (b Batch) Cells() []Cell {
 							StopWhenGathered: b.StopWhenGathered,
 							Vision:           b.Vision,
 						}
+						// An adversary entry may be a full spec string; split
+						// it into the cell's structured fields. An unparseable
+						// entry is kept verbatim so Validate reports it by
+						// cell.
+						if spec, err := adversary.ParseSpec(cell.AdversaryName()); err == nil {
+							cell.Adversary = spec.Strategy
+							cell.Crash = spec.Crash
+							cell.Noise = spec.Noise
+							cell.Trunc = spec.Trunc
+						}
+						// The label (not the bare name) feeds the seed stream,
+						// so fault variants of one strategy draw decorrelated
+						// schedules; for fault-free cells label == name and
+						// historic seeds are preserved.
 						cell.AdversarySeed = DeriveSeed(seed,
-							StreamOf(string(wk), cell.AdversaryName(), cell.AlgorithmName()),
+							StreamOf(string(wk), cell.AdversaryLabel(), cell.AlgorithmName()),
 							int64(n))
 						cells = append(cells, cell)
 					}

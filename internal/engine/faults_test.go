@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// TestKeyFaultFieldsBackwardCompatible pins the resume-identity contract
+// across the fault-injection addition: a fault-free cell's key must not
+// change (stored sweeps stay resumable), while every fault knob folds into
+// the key of a faulted cell.
+func TestKeyFaultFieldsBackwardCompatible(t *testing.T) {
+	base := Cell{Workload: workload.KindClustered, N: 5, WorkloadSeed: 3,
+		Adversary: "fair", AdversarySeed: 9, MaxEvents: 1000}
+	want := "wk=clustered|n=5|ws=3|alg=agm-gathering|adv=fair|as=9|delta=0|me=1000|snap=0|stop=false"
+	if got := base.Key(); got != want {
+		t.Fatalf("fault-free key changed:\n got %q\nwant %q", got, want)
+	}
+
+	faulted := base
+	faulted.Crash, faulted.Noise, faulted.Trunc = 2, 0.1, 0.5
+	key := faulted.Key()
+	for _, frag := range []string{"|crash=2", "|noise=0.1", "|trunc=0.5"} {
+		if !strings.Contains(key, frag) {
+			t.Errorf("faulted key %q misses %q", key, frag)
+		}
+	}
+	if faulted.Key() == base.Key() {
+		t.Fatal("fault knobs do not change the cell key")
+	}
+}
+
+// TestCrashKeyNormalized: the implicit crash(1) (Adversary "crash", Crash 0)
+// and its explicit Crash=1 twin describe the same simulation and must share
+// one store identity — a split here would make resumed sweeps miss every
+// stored cell of the other representation.
+func TestCrashKeyNormalized(t *testing.T) {
+	implicit := Cell{Workload: workload.KindClustered, N: 4, WorkloadSeed: 1,
+		Adversary: "crash", AdversarySeed: 2, MaxEvents: 100}
+	explicit := implicit
+	explicit.Crash = 1
+	if implicit.Key() != explicit.Key() {
+		t.Fatalf("implicit and explicit crash(1) keys differ:\n%q\n%q", implicit.Key(), explicit.Key())
+	}
+	if !strings.Contains(implicit.Key(), "|crash=1") {
+		t.Fatalf("normalized crash key misses |crash=1: %q", implicit.Key())
+	}
+	if implicit.AdversaryLabel() != "crash(1)" {
+		t.Fatalf("implicit crash label %q", implicit.AdversaryLabel())
+	}
+}
+
+func TestCellAdversaryLabel(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		want string
+	}{
+		{Cell{Adversary: "fair"}, "fair"},
+		{Cell{}, "random-async"},
+		{Cell{Adversary: "crash", Crash: 2}, "crash(2)"},
+		{Cell{Adversary: "fair", Noise: 0.1, Trunc: 0.2}, "fair+noise=0.1+trunc=0.2"},
+	}
+	for _, tc := range cases {
+		if got := tc.cell.AdversaryLabel(); got != tc.want {
+			t.Errorf("AdversaryLabel() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestValidateFaultKnobs: out-of-range fault knobs must be rejected up front.
+func TestValidateFaultKnobs(t *testing.T) {
+	ok := Cell{Workload: workload.KindClustered, N: 3}
+	bad := []Cell{
+		func() Cell { c := ok; c.Crash = -1; return c }(),
+		func() Cell { c := ok; c.Noise = -0.5; return c }(),
+		func() Cell { c := ok; c.Trunc = 1; return c }(),
+		func() Cell { c := ok; c.Adversary = "crash"; c.Crash = -2; return c }(),
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid cell rejected: %v", err)
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad cell %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// TestBatchParsesAdversarySpecs: spec strings on the batch's adversary axis
+// expand into structured fault fields, and distinct fault levels land in
+// distinct cells.
+func TestBatchParsesAdversarySpecs(t *testing.T) {
+	b := Batch{
+		Ns:          []int{4},
+		Adversaries: []string{"fair", "crash(2)", "fair+noise=0.1"},
+		Seeds:       1,
+		MaxEvents:   100,
+	}
+	cells := b.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("expanded %d cells, want 3", len(cells))
+	}
+	if cells[0].AdversaryLabel() != "fair" || cells[0].Crash != 0 {
+		t.Fatalf("plain spec mangled: %+v", cells[0])
+	}
+	if cells[1].Adversary != "crash" || cells[1].Crash != 2 {
+		t.Fatalf("crash(2) not parsed: %+v", cells[1])
+	}
+	if cells[2].Adversary != "fair" || cells[2].Noise != 0.1 {
+		t.Fatalf("noise spec not parsed: %+v", cells[2])
+	}
+	if err := ValidateCells(cells); err != nil {
+		t.Fatalf("spec-built cells invalid: %v", err)
+	}
+	if cells[0].AdversarySeed == cells[2].AdversarySeed {
+		t.Fatal("fault variants share an adversary seed (label not in the seed stream)")
+	}
+}
+
+// TestFaultedCellRunsDeterministically: equal faulted cells produce equal
+// results (the determinism contract extended to the fault decorators).
+func TestFaultedCellRunsDeterministically(t *testing.T) {
+	cell := Cell{Workload: workload.KindClustered, N: 4, WorkloadSeed: 2,
+		Adversary: "random-async", AdversarySeed: 7, Noise: 0.2, Trunc: 0.3,
+		Crash: 1, MaxEvents: 3000}
+	a, err := cell.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cell.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.TotalDistance != b.TotalDistance || a.Outcome != b.Outcome {
+		t.Fatalf("faulted cell not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Adversary != "random-async+crash=1+noise=0.2+trunc=0.3" {
+		t.Fatalf("result adversary label %q", a.Adversary)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/baseline"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/core"
@@ -63,6 +64,13 @@ func (t Table) String() string {
 type Config struct {
 	Seeds     int // number of seeds per cell (default 5)
 	MaxEvents int // event budget per run (default 150000)
+	// Adversary, when non-empty, is an adversary spec string
+	// (adversary.ParseSpec: "fair", "crash(2)", "greedy-stall+noise=0.1")
+	// that overrides the fixed adversary of the single-adversary multi-run
+	// experiments (E5, E7, E10, E11). Experiments that sweep their own
+	// adversary axis (E9, E13, E14, E15) ignore it. An invalid spec warns and
+	// falls back to the driver default.
+	Adversary string
 	// Workers sizes the engine worker pool for the multi-run experiments
 	// (E5, E7, E9, E10, E11); <=0 means GOMAXPROCS. Results are identical
 	// for every worker count.
@@ -109,6 +117,55 @@ type Config struct {
 // sharded reports whether any sharding mode is configured.
 func (c Config) sharded() bool { return c.ShardOwner != "" || c.Shards > 1 }
 
+// Validate checks the configuration up front and returns a clear error for
+// combinations that would otherwise fail silently — most importantly a shard
+// index outside [0, Shards), which would make every sharded run claim zero
+// cell groups and render empty tables. cmd/gatherbench calls it after flag
+// parsing; library callers should too. runCells additionally consults it and
+// degrades a misconfigured sharded run to an unsharded one (with a warning)
+// rather than doing no work.
+func (c Config) Validate() error {
+	if c.Seeds < 0 {
+		return fmt.Errorf("experiments: Seeds must be non-negative, got %d", c.Seeds)
+	}
+	if c.MaxEvents < 0 {
+		return fmt.Errorf("experiments: MaxEvents must be non-negative, got %d", c.MaxEvents)
+	}
+	if c.Adversary != "" {
+		if _, err := adversary.ParseSpec(c.Adversary); err != nil {
+			return fmt.Errorf("experiments: Adversary: %w", err)
+		}
+	}
+	if c.Resume && c.SweepDir == "" {
+		return fmt.Errorf("experiments: Resume requires SweepDir")
+	}
+	if c.AdaptiveCI < 0 {
+		return fmt.Errorf("experiments: AdaptiveCI must be non-negative, got %g", c.AdaptiveCI)
+	}
+	if c.AdaptiveMaxSeeds < 0 {
+		return fmt.Errorf("experiments: AdaptiveMaxSeeds must be non-negative, got %d", c.AdaptiveMaxSeeds)
+	}
+	if c.ShardOwner != "" && c.SweepDir == "" {
+		return fmt.Errorf("experiments: ShardOwner requires SweepDir (leases live in the shared sweep directory)")
+	}
+	if c.LeaseTTL < 0 {
+		return fmt.Errorf("experiments: LeaseTTL must be non-negative, got %v", c.LeaseTTL)
+	}
+	if c.LeaseTTL > 0 && c.ShardOwner == "" {
+		return fmt.Errorf("experiments: LeaseTTL requires ShardOwner")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("experiments: Shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Shards > 1 && (c.ShardIndex < 0 || c.ShardIndex >= c.Shards) {
+		return fmt.Errorf("experiments: ShardIndex must be in [0, %d), got %d", c.Shards, c.ShardIndex)
+	}
+	if c.ShardIndex != 0 && c.Shards <= 1 {
+		return fmt.Errorf("experiments: ShardIndex %d requires Shards > 1, got %d", c.ShardIndex, c.Shards)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Seeds <= 0 {
 		c.Seeds = 5
@@ -141,11 +198,27 @@ func (c Config) warnf(format string, args ...any) {
 // (plus any adaptive replicas, reported in the GroupSeeds slice, which is nil
 // for fixed-seed runs).
 func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, []sweep.GroupSeeds) {
+	if err := c.Validate(); err != nil {
+		// A misconfigured shard silently claims zero groups; running the
+		// sweep unsharded (and saying so) is strictly more useful. Only the
+		// sharding knobs are dropped — checkpointing (SweepDir/Resume) keeps
+		// working, so a long degraded run still resumes after a crash.
+		c.warnf("experiments: %s: %v (running unsharded)", id, err)
+		c.ShardOwner = ""
+		c.Shards, c.ShardIndex = 0, 0
+		c.LeaseTTL = 0
+	}
 	opts := sweep.Options{Engine: c.engineOpts(), Cache: workload.NewCache()}
 	sharded := c.sharded() && c.AdaptiveCI <= 0
+	// Adaptive scheduling cannot be sharded (the grid is data-dependent), but
+	// a worker given both knobs may still share its SweepDir with peers doing
+	// the same: treat the store as shared — never compact, never reset — so
+	// the worst case is the fleet duplicating the sweep with bit-identical
+	// records, never one worker compacting the file under a peer's appends.
+	adaptiveShared := c.sharded() && c.AdaptiveCI > 0
 	if c.SweepDir != "" {
 		open := sweep.Open
-		if sharded {
+		if sharded || adaptiveShared {
 			// Peers may be appending to the same store concurrently: load
 			// without compacting, and never reset (sharded runs always
 			// resume — a reset would discard the fleet's work).
@@ -158,7 +231,7 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 			c.warnf("experiments: %s: %v (running without checkpoints)", id, err)
 		} else {
 			defer st.Close()
-			if !c.Resume && !sharded {
+			if !c.Resume && !sharded && !adaptiveShared {
 				if rerr := st.Reset(); rerr != nil {
 					c.warnf("experiments: %s: %v", id, rerr)
 				}
@@ -171,7 +244,7 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 	}
 	if c.AdaptiveCI > 0 {
 		if c.sharded() {
-			c.warnf("experiments: %s: adaptive seed scheduling does not compose with sharding; running unsharded", id)
+			c.warnf("experiments: %s: adaptive seed scheduling does not compose with sharding; this process runs the full adaptive sweep unsharded (peers given the same flags duplicate it with identical records)", id)
 		}
 		results, infos, stats := sweep.RunAdaptive(cells, opts, sweep.Adaptive{
 			TargetCI: c.AdaptiveCI,
@@ -235,6 +308,33 @@ func adaptiveNotes(t *Table, infos []sweep.GroupSeeds) {
 // snapshotEvery is the configuration-snapshot cadence shared by every
 // experiment run (both the direct drivers and the engine cell builders).
 const snapshotEvery = 50
+
+// adversarySpec resolves the adversary used by a single-adversary multi-run
+// driver: the Config.Adversary override when set, the driver's default spec
+// string otherwise. Invalid overrides warn and fall back to the default.
+func (c Config) adversarySpec(def string) adversary.Spec {
+	text := c.Adversary
+	if text == "" {
+		text = def
+	}
+	spec, err := adversary.ParseSpec(text)
+	if err != nil {
+		c.warnf("experiments: %v (falling back to %q)", err, def)
+		spec, err = adversary.ParseSpec(def)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: bad default adversary spec %q: %v", def, err))
+		}
+	}
+	return spec
+}
+
+// stampAdversary writes an adversary spec into a cell's structured fields.
+func stampAdversary(cell *engine.Cell, spec adversary.Spec) {
+	cell.Adversary = spec.Strategy
+	cell.Crash = spec.Crash
+	cell.Noise = spec.Noise
+	cell.Trunc = spec.Trunc
+}
 
 // runOnce runs the paper's algorithm on one workload instance.
 func runOnce(cfg config.Geometric, adv sched.Adversary, maxEvents int, alg sim.Algorithm) sim.Result {
@@ -408,19 +508,21 @@ func E5GatheringVsN(cfg Config, ns []int) Table {
 // e5Cells is the E5 cell grid: (n x seed x {clustered, nested-hulls}) under
 // the random-async adversary.
 func e5Cells(cfg Config, ns []int) []engine.Cell {
+	spec := cfg.adversarySpec("random-async")
 	var cells []engine.Cell
 	for _, n := range ns {
 		for seed := 0; seed < cfg.Seeds; seed++ {
 			for _, kind := range []workload.Kind{workload.KindClustered, workload.KindNestedHulls} {
-				cells = append(cells, engine.Cell{
+				cell := engine.Cell{
 					Workload:      kind,
 					N:             n,
 					WorkloadSeed:  int64(seed + 1),
-					Adversary:     "random-async",
 					AdversarySeed: int64(100 + seed),
 					MaxEvents:     cfg.MaxEvents,
 					SnapshotEvery: snapshotEvery,
-				})
+				}
+				stampAdversary(&cell, spec)
+				cells = append(cells, cell)
 			}
 		}
 	}
@@ -475,17 +577,19 @@ func E7PhaseTwo(cfg Config, ns []int) Table {
 		Title:   "Lemma 23 — events from safe configuration to connected (ring starts)",
 		Columns: []string{"n", "runs", "connected", "median events to connected"},
 	}
+	spec := cfg.adversarySpec("random-async")
 	var cells []engine.Cell
 	for _, n := range ns {
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			cells = append(cells, engine.Cell{
+			cell := engine.Cell{
 				Initial:       workload.Ring(n, 6+2*float64(n)),
 				N:             n,
-				Adversary:     "random-async",
 				AdversarySeed: int64(300 + seed),
 				MaxEvents:     cfg.MaxEvents,
 				SnapshotEvery: snapshotEvery,
-			})
+			}
+			stampAdversary(&cell, spec)
+			cells = append(cells, cell)
 		}
 	}
 	results, infos := cfg.runCells("E7", cells)
@@ -625,20 +729,22 @@ func E10Baselines(cfg Config, ns []int) Table {
 // e10Cells is the E10 cell grid: (algorithm x n x seed) on clustered
 // workloads under the random-async adversary, at half the event budget.
 func e10Cells(cfg Config, ns []int, algs []sim.Algorithm) []engine.Cell {
+	spec := cfg.adversarySpec("random-async")
 	var cells []engine.Cell
 	for _, alg := range algs {
 		for _, n := range ns {
 			for seed := 0; seed < cfg.Seeds; seed++ {
-				cells = append(cells, engine.Cell{
+				cell := engine.Cell{
 					Workload:      workload.KindClustered,
 					N:             n,
 					WorkloadSeed:  int64(seed + 1),
 					Algorithm:     alg,
-					Adversary:     "random-async",
 					AdversarySeed: int64(500 + seed),
 					MaxEvents:     cfg.MaxEvents / 2,
 					SnapshotEvery: snapshotEvery,
-				})
+				}
+				stampAdversary(&cell, spec)
+				cells = append(cells, cell)
 			}
 		}
 	}
@@ -653,18 +759,20 @@ func E11Delta(cfg Config, n int) Table {
 		Title:   fmt.Sprintf("Liveness condition — sensitivity to delta (n=%d, clustered workload)", n),
 		Columns: []string{"delta", "runs", "gathered", "median events"},
 	}
+	spec := cfg.adversarySpec("stop-happy")
 	var cells []engine.Cell
 	for _, delta := range []float64{0.01, 0.05, 0.1, 0.5, 1.0} {
 		for seed := 0; seed < cfg.Seeds; seed++ {
-			cells = append(cells, engine.Cell{
+			cell := engine.Cell{
 				Workload:      workload.KindClustered,
 				N:             n,
 				WorkloadSeed:  int64(seed + 1),
-				Adversary:     "stop-happy",
 				AdversarySeed: int64(600 + seed),
 				Delta:         delta,
 				MaxEvents:     cfg.MaxEvents,
-			})
+			}
+			stampAdversary(&cell, spec)
+			cells = append(cells, cell)
 		}
 	}
 	results, infos := cfg.runCells("E11", cells)
@@ -713,6 +821,180 @@ func E12Primitives(cfg Config) Table {
 	return t
 }
 
+// stalledCounts tallies, per collector key, how many of a result set's runs
+// ended stalled (the crash-stop outcome: only crashed robots remained).
+func stalledCounts(results []engine.CellResult, keyOf func(engine.CellResult) string) map[string]int {
+	out := make(map[string]int)
+	for _, r := range results {
+		if r.Err == nil && r.Result.Outcome == sim.OutcomeStalled {
+			out[keyOf(r)]++
+		}
+	}
+	return out
+}
+
+// E13StrategyCross crosses every adversary strategy — the legacy policies
+// plus the environment-aware greedy-stall, round-robin-lag and crash(1) —
+// with workload shapes: the full robustness picture the correctness claims
+// are stated against (the paper's Lemma 25 says bad schedules delay
+// gathering but never prevent it; crash faults are outside the model and do
+// prevent it, which the table makes visible).
+func E13StrategyCross(cfg Config, n int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E13",
+		Title:   fmt.Sprintf("Robustness — adversary strategy cross vs workload (n=%d)", n),
+		Columns: []string{"strategy", "workload", "runs", "gathered", "stalled", "median events", "median stops"},
+	}
+	workloads := []workload.Kind{workload.KindClustered, workload.KindNestedHulls, workload.KindRing}
+	var cells []engine.Cell
+	for _, name := range adversary.Names() {
+		for _, wk := range workloads {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				cell := engine.Cell{
+					Workload:      wk,
+					N:             n,
+					WorkloadSeed:  int64(seed + 1),
+					Adversary:     name,
+					MaxEvents:     cfg.MaxEvents,
+					SnapshotEvery: snapshotEvery,
+				}
+				if name == adversary.NameCrash {
+					cell.Crash = 1
+				}
+				cell.AdversarySeed = engine.DeriveSeed(int64(1300+seed),
+					engine.StreamOf("E13", name, string(wk)), int64(n))
+				cells = append(cells, cell)
+			}
+		}
+	}
+	results, infos := cfg.runCells("E13", cells)
+	keyOf := func(r engine.CellResult) string {
+		return fmt.Sprintf("%s|%s", r.Cell.AdversaryLabel(), r.Cell.Workload)
+	}
+	groups := collect(results, keyOf)
+	stalled := stalledCounts(results, keyOf)
+	adaptiveNotes(&t, infos)
+	for _, g := range groups {
+		stallRate := 0.0
+		if g.Runs > 0 {
+			stallRate = float64(stalled[g.Key]) / float64(g.Runs)
+		}
+		t.Rows = append(t.Rows, []string{
+			g.Sample.AdversaryLabel(), string(g.Sample.Workload), fmt.Sprintf("%d", g.Runs),
+			fmtF2(g.GatheredRate), fmtF2(stallRate),
+			fmtF(g.Events.Median), fmtF(g.Stops.Median),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"crash(1) stalls by design once every surviving robot terminates; every fault-free strategy should still gather (delay, not prevention)")
+	return t
+}
+
+// E14CrashTolerance sweeps the crash-stop count k: how far the paper's
+// algorithm degrades as robots fail permanently after their first move
+// (crash faults are outside the paper's execution model, so this measures
+// the undefended failure mode, not a violated claim).
+func E14CrashTolerance(cfg Config, n int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E14",
+		Title:   fmt.Sprintf("Robustness — crash-stop tolerance (n=%d, clustered workload, fair scheduling)", n),
+		Columns: []string{"crashed k", "runs", "gathered", "connected", "stalled", "median events"},
+	}
+	var cells []engine.Cell
+	for k := 0; k < 4; k++ {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			cell := engine.Cell{
+				Workload:      workload.KindClustered,
+				N:             n,
+				WorkloadSeed:  int64(seed + 1),
+				Adversary:     adversary.NameFair,
+				MaxEvents:     cfg.MaxEvents,
+				SnapshotEvery: snapshotEvery,
+			}
+			if k > 0 {
+				cell.Adversary = adversary.NameCrash
+				cell.Crash = k
+			}
+			cell.AdversarySeed = engine.DeriveSeed(int64(1400+seed),
+				engine.StreamOf("E14", cell.AdversaryLabel()), int64(n))
+			cells = append(cells, cell)
+		}
+	}
+	results, infos := cfg.runCells("E14", cells)
+	keyOf := func(r engine.CellResult) string { return fmt.Sprintf("%d", r.Cell.Crash) }
+	groups := collect(results, keyOf)
+	stalled := stalledCounts(results, keyOf)
+	adaptiveNotes(&t, infos)
+	for _, g := range groups {
+		stallRate := 0.0
+		if g.Runs > 0 {
+			stallRate = float64(stalled[g.Key]) / float64(g.Runs)
+		}
+		t.Rows = append(t.Rows, []string{
+			g.Key, fmt.Sprintf("%d", g.Runs),
+			fmtF2(g.GatheredRate), fmtF2(g.ConnectedRate), fmtF2(stallRate),
+			fmtF(g.Events.Median),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"k=0 is the fault-free fair baseline; a crashed robot freezes where its first move ended, so full gathering generally becomes impossible for k >= 1")
+	return t
+}
+
+// E15NoiseThreshold sweeps bounded sensor noise (and, separately, movement
+// truncation) under fair scheduling to find the fault magnitude at which
+// gathering degrades: the paper assumes exact sensing, so this charts the
+// assumption's safety margin.
+func E15NoiseThreshold(cfg Config, n int) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E15",
+		Title:   fmt.Sprintf("Robustness — sensor-noise and motion-truncation thresholds (n=%d, clustered workload)", n),
+		Columns: []string{"fault", "runs", "gathered", "median events", "median collisions"},
+	}
+	var cells []engine.Cell
+	add := func(noise, trunc float64) {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			cell := engine.Cell{
+				Workload:      workload.KindClustered,
+				N:             n,
+				WorkloadSeed:  int64(seed + 1),
+				Adversary:     adversary.NameFair,
+				Noise:         noise,
+				Trunc:         trunc,
+				MaxEvents:     cfg.MaxEvents,
+				SnapshotEvery: snapshotEvery,
+			}
+			cell.AdversarySeed = engine.DeriveSeed(int64(1500+seed),
+				engine.StreamOf("E15", cell.AdversaryLabel()), int64(n))
+			cells = append(cells, cell)
+		}
+	}
+	for _, noise := range []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5} {
+		add(noise, 0)
+	}
+	for _, trunc := range []float64{0.25, 0.5, 0.9} {
+		add(0, trunc)
+	}
+	results, infos := cfg.runCells("E15", cells)
+	groups := collect(results, func(r engine.CellResult) string {
+		return r.Cell.AdversaryLabel()
+	})
+	adaptiveNotes(&t, infos)
+	for _, g := range groups {
+		t.Rows = append(t.Rows, []string{
+			g.Sample.AdversaryLabel(), fmt.Sprintf("%d", g.Runs),
+			fmtF2(g.GatheredRate),
+			fmtF(g.Events.Median), fmtF(g.Collisions.Median),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"noise displaces sensed centers (never the robot's own position); truncation scales each move grant below the liveness delta")
+	return t
+}
+
 // Experiment pairs an experiment id with its driver (run with the suite's
 // default arguments).
 type Experiment struct {
@@ -736,6 +1018,9 @@ func Suite() []Experiment {
 		{"E10", func(c Config) Table { return E10Baselines(c, nil) }},
 		{"E11", func(c Config) Table { return E11Delta(c, 6) }},
 		{"E12", E12Primitives},
+		{"E13", func(c Config) Table { return E13StrategyCross(c, 6) }},
+		{"E14", func(c Config) Table { return E14CrashTolerance(c, 6) }},
+		{"E15", func(c Config) Table { return E15NoiseThreshold(c, 6) }},
 	}
 }
 

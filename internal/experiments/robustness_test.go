@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickRobustCfg keeps the robustness drivers fast: gathering rarely
+// completes at this budget, which is fine — the tables only need rows.
+var quickRobustCfg = Config{Seeds: 1, MaxEvents: 1500}
+
+func TestE13SmallScale(t *testing.T) {
+	tbl := E13StrategyCross(quickRobustCfg, 4)
+	checkTable(t, tbl, "E13")
+	// 8 strategies x 3 workloads.
+	if len(tbl.Rows) != 24 {
+		t.Fatalf("expected 24 strategy-workload rows, got %d", len(tbl.Rows))
+	}
+	s := tbl.String()
+	for _, want := range []string{"fair", "greedy-stall", "round-robin-lag", "crash(1)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("E13 misses strategy %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE14SmallScale(t *testing.T) {
+	tbl := E14CrashTolerance(quickRobustCfg, 4)
+	checkTable(t, tbl, "E14")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected rows for k=0..3, got %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "0" || tbl.Rows[3][0] != "3" {
+		t.Fatalf("crash counts out of order: %v", tbl.Rows)
+	}
+}
+
+func TestE15SmallScale(t *testing.T) {
+	tbl := E15NoiseThreshold(quickRobustCfg, 4)
+	checkTable(t, tbl, "E15")
+	s := tbl.String()
+	for _, want := range []string{"fair+noise=0.5", "fair+trunc=0.9"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("E15 misses fault row %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFairPathByteIdenticalToPrePR pins the central acceptance criterion of
+// the adversary subsystem: routing every legacy adversary through
+// adversary.Strategy must leave the E5/E9/E10 tables byte-identical to the
+// pre-subsystem code. The hash below was computed from gatherbench output
+// (-only E5,E9,E10 -seeds 2 -max-events 1200) BEFORE internal/adversary
+// existed; if it ever changes, simulation semantics changed.
+func TestFairPathByteIdenticalToPrePR(t *testing.T) {
+	const prePRHash = "c65f177ba1b5aae360aa409efc0b3b0a6a3bb8188fd93527748b164a0f916081"
+	cfg := Config{Seeds: 2, MaxEvents: 1200}
+	var b strings.Builder
+	fmt.Fprintln(&b, E5GatheringVsN(cfg, nil).String())
+	fmt.Fprintln(&b, E9Adversaries(cfg, 6).String())
+	fmt.Fprintln(&b, E10Baselines(cfg, nil).String())
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(b.String()))); got != prePRHash {
+		t.Fatalf("E5/E9/E10 tables diverged from the pre-adversary-subsystem output:\nhash %s, want %s\n%s",
+			got, prePRHash, b.String())
+	}
+}
+
+// TestE13ResumeByteIdentical: the robustness experiments must flow through
+// the sweep store like every other multi-run experiment — strategy-aware
+// cell keys included — so a resumed E13 re-renders byte-identically without
+// executing anything.
+func TestE13ResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickRobustCfg
+	cfg.SweepDir = dir
+
+	first := E13StrategyCross(cfg, 4).String()
+	store := filepath.Join(dir, "E13", "results.jsonl")
+	before, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatalf("E13 store not written: %v", err)
+	}
+	// Every strategy must appear in the persisted keys (strategy-aware keys).
+	for _, frag := range []string{"adv=crash", "adv=greedy-stall", "adv=round-robin-lag", "crash=1"} {
+		if !strings.Contains(string(before), frag) {
+			t.Fatalf("store keys miss %q", frag)
+		}
+	}
+
+	cfg.Resume = true
+	second := E13StrategyCross(cfg, 4).String()
+	if first != second {
+		t.Fatalf("resumed E13 differs:\n%s\nvs\n%s", first, second)
+	}
+	after, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("resume re-ran cells: store grew %d -> %d bytes", len(before), len(after))
+	}
+}
+
+// TestE14ShardedByteIdentical: the crash sweep composes with cooperative
+// sharding — a late worker over a drained store restores everything and
+// renders the same bytes.
+func TestE14ShardedByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickRobustCfg
+	cfg.SweepDir = dir
+
+	want := E14CrashTolerance(cfg, 4).String()
+
+	shard := quickRobustCfg
+	shard.SweepDir = dir
+	shard.ShardOwner = "late-worker"
+	got := E14CrashTolerance(shard, 4).String()
+	if got != want {
+		t.Fatalf("sharded E14 differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestConfigValidate covers the up-front validation (the silent-empty-table
+// bug class: a shard index outside [0, Shards) used to claim zero groups).
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{Seeds: 3, MaxEvents: 100},
+		{Shards: 2, ShardIndex: 1, SweepDir: "x", Resume: true},
+		{Adversary: "crash(2)"},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	bad := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Shards: 2, ShardIndex: 2}, "ShardIndex must be in [0, 2)"},
+		{Config{Shards: 2, ShardIndex: 5}, "ShardIndex must be in [0, 2)"},
+		{Config{Shards: 2, ShardIndex: -1}, "ShardIndex must be in [0, 2)"},
+		{Config{ShardIndex: 1}, "requires Shards > 1"},
+		{Config{Shards: -1}, "Shards must be non-negative"},
+		{Config{ShardOwner: "w"}, "ShardOwner requires SweepDir"},
+		{Config{LeaseTTL: -1}, "LeaseTTL must be non-negative"},
+		{Config{Resume: true}, "Resume requires SweepDir"},
+		{Config{Adversary: "bogus"}, "unknown adversary strategy"},
+		{Config{AdaptiveCI: -1}, "AdaptiveCI must be non-negative"},
+	}
+	for _, tc := range bad {
+		err := tc.cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%+v) = %v, want substring %q", tc.cfg, err, tc.want)
+		}
+	}
+}
+
+// TestRunCellsDegradesOnInvalidShardConfig: a driver handed an invalid shard
+// index must not render an empty table — it warns and runs unsharded.
+func TestRunCellsDegradesOnInvalidShardConfig(t *testing.T) {
+	cfg := quickRobustCfg
+	cfg.Shards, cfg.ShardIndex = 2, 7 // invalid: index outside [0, 2)
+	var warnings []string
+	cfg.Warnf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	tbl := E14CrashTolerance(cfg, 4)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("invalid shard config rendered an empty table")
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "ShardIndex must be in [0, 2)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no clear warning about the invalid shard config: %v", warnings)
+	}
+}
+
+// TestAdversaryOverrideChangesE5: the Config.Adversary spec must reroute the
+// single-adversary experiments; an invalid spec warns and falls back.
+func TestAdversaryOverrideChangesE5(t *testing.T) {
+	plain := E5GatheringVsN(quickRobustCfg, []int{3}).String()
+
+	over := quickRobustCfg
+	over.Adversary = "greedy-stall"
+	changed := E5GatheringVsN(over, []int{3}).String()
+	if changed == plain {
+		t.Fatal("adversary override left E5 unchanged")
+	}
+
+	var warnings []string
+	invalid := quickRobustCfg
+	invalid.Adversary = "bogus"
+	invalid.Warnf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	fallback := E5GatheringVsN(invalid, []int{3}).String()
+	if fallback != plain {
+		t.Fatal("invalid adversary spec did not fall back to the driver default")
+	}
+	if len(warnings) == 0 {
+		t.Fatal("invalid adversary spec produced no warning")
+	}
+}
+
+// TestAdaptiveWithShardingDegradesToUnsharded: Config composing AdaptiveCI
+// with sharding must behave exactly like the unsharded adaptive run (same
+// bytes), with a warning — the library-level counterpart of the CLI test.
+func TestAdaptiveWithShardingDegradesToUnsharded(t *testing.T) {
+	plainCfg := quickRobustCfg
+	plainCfg.AdaptiveCI = 0.000001
+	plainCfg.AdaptiveMaxSeeds = 2
+	plain := E14CrashTolerance(plainCfg, 4).String()
+
+	shardCfg := plainCfg
+	shardCfg.SweepDir = t.TempDir()
+	shardCfg.ShardOwner = "w1"
+	var warnings []string
+	shardCfg.Warnf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	got := E14CrashTolerance(shardCfg, 4).String()
+	if got != plain {
+		t.Fatalf("adaptive+sharded differs from plain adaptive:\n%s\nvs\n%s", got, plain)
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "does not compose with sharding") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no composition warning: %v", warnings)
+	}
+}

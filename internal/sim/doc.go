@@ -5,4 +5,12 @@
 // the physical constraints of the fat-robot model — motion stops at the first
 // tangency, discs never overlap — and the liveness conditions (minimum
 // progress delta, every robot scheduled).
+//
+// Event selection is delegated to an internal/adversary.Strategy, consulted
+// with the full scheduling environment (states, centers, move targets) at
+// every step. Strategies that implement adversary.Perturber additionally
+// inject bounded faults at two fixed points: Look snapshots (sensor noise,
+// never touching the physical configuration) and Move grants (truncation,
+// applied after the liveness clamp). A strategy may also decline to schedule
+// anyone (crash-stop exhaustion), which ends the run with OutcomeStalled.
 package sim

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/core"
 	"github.com/fatgather/fatgather/internal/geom"
@@ -47,6 +48,10 @@ const (
 	OutcomeGathered
 	// OutcomeBudgetExhausted: the event budget ran out first.
 	OutcomeBudgetExhausted
+	// OutcomeStalled: the adversary strategy declined to schedule any robot
+	// (every remaining candidate has crash-stopped), so no further event can
+	// change the configuration.
+	OutcomeStalled
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +63,8 @@ func (o Outcome) String() string {
 		return "gathered"
 	case OutcomeBudgetExhausted:
 		return "budget-exhausted"
+	case OutcomeStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -67,7 +74,14 @@ func (o Outcome) String() string {
 type Options struct {
 	// Algorithm is the local algorithm; nil means the paper's algorithm.
 	Algorithm Algorithm
-	// Adversary is the scheduler; nil means sched.NewFair().
+	// Strategy is the scheduling strategy (internal/adversary); it owns event
+	// selection and may carry fault decorators (crash-stop, sensor noise,
+	// movement truncation). When nil, Adversary (wrapped) or the fair
+	// strategy is used.
+	Strategy adversary.Strategy
+	// Adversary is the legacy scheduler hook, consulted only when Strategy is
+	// nil; nil means sched.NewFair(). A wrapped legacy adversary schedules
+	// byte-identically to the pre-Strategy simulator.
 	Adversary sched.Adversary
 	// Vision is the visibility model; nil means vision.Default.
 	Vision *vision.Model
@@ -91,8 +105,12 @@ func (o Options) withDefaults() Options {
 	if o.Algorithm == nil {
 		o.Algorithm = PaperAlgorithm{}
 	}
-	if o.Adversary == nil {
-		o.Adversary = sched.NewFair()
+	if o.Strategy == nil {
+		if o.Adversary != nil {
+			o.Strategy = adversary.Wrap(o.Adversary)
+		} else {
+			o.Strategy = adversary.Wrap(sched.NewFair())
+		}
 	}
 	if o.Vision == nil {
 		o.Vision = vision.Default
@@ -163,7 +181,18 @@ type Simulator struct {
 	milestones   Milestones
 	areaSeries   []float64
 	spreadSeries []float64
+
+	// Reused adversary.Env buffers (rebuilt every Step; strategies must not
+	// retain them).
+	envStates  []robot.State
+	envCenters []geom.Vec
+	envTargets []geom.Vec
 }
+
+// ErrStalled is returned by Step when the adversary strategy declines to
+// schedule any robot (adversary.NoRobot): no further event can change the
+// configuration, so Run ends the run with OutcomeStalled.
+var ErrStalled = errors.New("sim: adversary scheduled no robot (all remaining candidates crashed)")
 
 // New creates a simulator for the given initial configuration.
 func New(initial config.Geometric, opts Options) (*Simulator, error) {
@@ -226,7 +255,9 @@ func (s *Simulator) Run() Result {
 		if s.opts.StopWhenGathered && s.milestones.Gathered >= 0 {
 			return s.result(OutcomeGathered, nil)
 		}
-		if err := s.Step(); err != nil {
+		if err := s.Step(); errors.Is(err, ErrStalled) {
+			return s.result(OutcomeStalled, nil)
+		} else if err != nil {
 			return s.result(OutcomeBudgetExhausted, err)
 		}
 	}
@@ -239,17 +270,37 @@ func (s *Simulator) Run() Result {
 	return s.result(OutcomeBudgetExhausted, nil)
 }
 
-// Step executes a single event chosen by the adversary.
+// env rebuilds the reused adversary.Env view of the current simulation state.
+func (s *Simulator) env() adversary.Env {
+	if s.envStates == nil {
+		s.envStates = make([]robot.State, s.n)
+		s.envCenters = make([]geom.Vec, s.n)
+		s.envTargets = make([]geom.Vec, s.n)
+	}
+	for i, r := range s.robots {
+		s.envStates[i] = r.State
+		s.envCenters[i] = r.Center
+		if r.State == robot.Move {
+			s.envTargets[i] = r.Target
+		} else {
+			s.envTargets[i] = geom.Vec{}
+		}
+	}
+	return adversary.Env{States: s.envStates, Centers: s.envCenters, Targets: s.envTargets}
+}
+
+// Step executes a single event chosen by the adversary strategy. It returns
+// ErrStalled when the strategy schedules no robot (see OutcomeStalled).
 func (s *Simulator) Step() error {
 	candidates := s.activeCandidates()
 	if len(candidates) == 0 {
 		return nil
 	}
-	states := make([]robot.State, s.n)
-	for i, r := range s.robots {
-		states[i] = r.State
+	env := s.env()
+	id := s.opts.Strategy.Next(candidates, env)
+	if id == adversary.NoRobot {
+		return ErrStalled
 	}
-	id := s.opts.Adversary.Next(candidates, states)
 	if id < 0 || id >= s.n || s.robots[id].Terminated() {
 		id = candidates[0]
 	}
@@ -264,7 +315,7 @@ func (s *Simulator) Step() error {
 	case robot.Compute:
 		err = s.eventComputeOutcome(r)
 	case robot.Move:
-		err = s.eventAdvance(r)
+		err = s.eventAdvance(r, env)
 	default:
 		return nil
 	}
@@ -292,10 +343,15 @@ func (s *Simulator) activeCandidates() []int {
 }
 
 // eventLook implements the Look event: the robot snapshots the centers it can
-// see (always including its own).
+// see (always including its own). A fault-injecting strategy may perturb the
+// snapshot — but never the robot's self-observation or the physical
+// configuration.
 func (s *Simulator) eventLook(r *robot.Robot) error {
 	centers := s.Config()
 	view := s.opts.Vision.ViewCenters(centers, r.ID)
+	if p, ok := s.opts.Strategy.(adversary.Perturber); ok {
+		view = p.PerturbView(r.ID, r.Center, view)
+	}
 	return r.BeginLook(view)
 }
 
@@ -323,13 +379,13 @@ func (s *Simulator) eventComputeOutcome(r *robot.Robot) error {
 // eventAdvance implements the Move/Stop/Collide/Arrive events for one
 // activation of a moving robot: the adversary chooses the progress, motion is
 // truncated at the first tangency, and the robot's state is updated.
-func (s *Simulator) eventAdvance(r *robot.Robot) error {
+func (s *Simulator) eventAdvance(r *robot.Robot, env adversary.Env) error {
 	remaining := r.RemainingDistance()
 	if remaining <= config.ContactEps {
 		s.arrivals++
 		return r.FinishMove()
 	}
-	action := s.opts.Adversary.Move(r.ID, remaining)
+	action := s.opts.Strategy.Move(r.ID, remaining, env)
 	dist := action.Distance
 	minProgress := math.Min(s.opts.Delta, remaining)
 	if dist < minProgress {
@@ -337,6 +393,18 @@ func (s *Simulator) eventAdvance(r *robot.Robot) error {
 	}
 	if dist > remaining {
 		dist = remaining
+	}
+	if p, ok := s.opts.Strategy.(adversary.Perturber); ok {
+		// Movement truncation applies after the liveness clamp: the fault may
+		// undercut the delta — that is the point — but never reverse motion
+		// or overshoot.
+		dist = p.PerturbMove(r.ID, dist, remaining)
+		if dist < 0 {
+			dist = 0
+		}
+		if dist > remaining {
+			dist = remaining
+		}
 	}
 
 	free, blockedBy := s.freeDistance(r, dist)
@@ -433,7 +501,7 @@ func (s *Simulator) result(outcome Outcome, err error) Result {
 	return Result{
 		Outcome:           outcome,
 		Algorithm:         s.opts.Algorithm.Name(),
-		Adversary:         s.opts.Adversary.Name(),
+		Adversary:         s.opts.Strategy.Name(),
 		N:                 s.n,
 		Events:            s.events,
 		Cycles:            cycles,

@@ -134,8 +134,12 @@ func RunAdaptive(cells []engine.Cell, opts Options, ad Adaptive) ([]engine.CellR
 			}
 			next := g.sample
 			next.WorkloadSeed = g.maxSeed + 1
+			// The full adversary label (not the bare name) feeds the seed
+			// stream, mirroring engine.Batch.Cells: fault variants of one
+			// strategy must draw decorrelated schedules, and for fault-free
+			// cells label == name so historic replica seeds are preserved.
 			next.AdversarySeed = engine.DeriveSeed(next.WorkloadSeed,
-				engine.StreamOf(string(next.Workload), next.AdversaryName(), next.AlgorithmName()),
+				engine.StreamOf(string(next.Workload), next.AdversaryLabel(), next.AlgorithmName()),
 				int64(next.N))
 			pending = append(pending, next)
 		}

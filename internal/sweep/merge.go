@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"fmt"
+
+	"github.com/fatgather/fatgather/internal/engine"
+)
+
+// MergeStats reports what a MergeDirs call did.
+type MergeStats struct {
+	// Sources is the number of source stores that were readable.
+	Sources int
+	// Added is the number of records copied into the destination.
+	Added int
+	// Skipped is the number of source records the destination already held
+	// (same cell key — bit-identical by the determinism contract, so keeping
+	// the first copy is always safe).
+	Skipped int
+	// AppendErrs counts records that could not be written to the destination.
+	AppendErrs int
+}
+
+// MergeDirs merges the completed-cell records of the source sweep
+// directories into the destination directory, so statically sharded sweeps
+// that ran without a shared filesystem can be combined afterwards (copy the
+// shard directories to one host, merge, then resume from the merged store to
+// render the full tables).
+//
+// Sources are opened read-only and never modified. Records written under a
+// different schema or engine version are rejected — the mismatch surfaces
+// through warnf and the source contributes nothing — because stale-version
+// results must never leak into a live store. Duplicate cell keys across
+// sources are skipped (first copy wins; duplicates are bit-identical by the
+// determinism contract). The destination is created if missing and may
+// already hold records: merging is idempotent.
+func MergeDirs(dst string, srcs []string, warnf func(format string, args ...any)) (MergeStats, error) {
+	var stats MergeStats
+	if warnf == nil {
+		warnf = func(string, ...any) {}
+	}
+	out, err := Open(dst)
+	if err != nil {
+		return stats, fmt.Errorf("sweep: merge destination: %w", err)
+	}
+	defer out.Close()
+	for _, w := range out.Warnings() {
+		warnf("%s", w)
+	}
+	for _, dir := range srcs {
+		src, err := OpenReadOnly(dir)
+		if err != nil {
+			return stats, fmt.Errorf("sweep: merge source %s: %w", dir, err)
+		}
+		for _, w := range src.Warnings() {
+			warnf("%s: %s", dir, w)
+		}
+		stats.Sources++
+		for _, key := range src.Keys() {
+			if _, ok := out.Lookup(key); ok {
+				stats.Skipped++
+				continue
+			}
+			st, _ := src.Lookup(key)
+			rec := engine.CellResult{Result: st.Result, Err: st.Err, Elapsed: st.Elapsed}
+			if err := out.Append(key, rec); err != nil {
+				stats.AppendErrs++
+				warnf("%s: %v", dir, err)
+				continue
+			}
+			stats.Added++
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// mergeCells is a small grid split across two stores in the merge tests.
+func mergeCells(t *testing.T) []engine.Cell {
+	t.Helper()
+	var cells []engine.Cell
+	for seed := int64(1); seed <= 4; seed++ {
+		cells = append(cells, engine.Cell{
+			Workload: workload.KindClustered, N: 3, WorkloadSeed: seed,
+			Adversary: "fair", AdversarySeed: seed, MaxEvents: 500,
+		})
+	}
+	return cells
+}
+
+func runInto(t *testing.T, dir string, cells []engine.Cell) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, stats := Run(cells, Options{Store: st}); stats.AppendErrs > 0 {
+		t.Fatalf("%d append errors", stats.AppendErrs)
+	}
+}
+
+func TestMergeDirsCombinesDisjointStores(t *testing.T) {
+	cells := mergeCells(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	runInto(t, dirA, cells[:2])
+	runInto(t, dirB, cells[2:])
+
+	dst := t.TempDir()
+	stats, err := MergeDirs(dst, []string{dirA, dirB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 4 || stats.Skipped != 0 || stats.Sources != 2 {
+		t.Fatalf("stats %+v, want 4 added / 0 skipped / 2 sources", stats)
+	}
+
+	// Resuming the full grid from the merged store executes nothing.
+	merged, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	results, runStats := Run(cells, Options{Store: merged})
+	if runStats.Executed != 0 || runStats.Restored != 4 {
+		t.Fatalf("merged store incomplete: %+v", runStats)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("restored cell errored: %v", r.Err)
+		}
+	}
+}
+
+func TestMergeDirsIsIdempotentAndDedupes(t *testing.T) {
+	cells := mergeCells(t)
+	dirA := t.TempDir()
+	runInto(t, dirA, cells)
+
+	dst := t.TempDir()
+	if _, err := MergeDirs(dst, []string{dirA}, nil); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := MergeDirs(dst, []string{dirA}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 0 || stats.Skipped != len(cells) {
+		t.Fatalf("re-merge stats %+v, want everything skipped", stats)
+	}
+}
+
+func TestMergeDirsRejectsVersionMismatch(t *testing.T) {
+	src := t.TempDir()
+	stale := `{"schema":1,"engine":"fatgather-engine/0-stale","key":"k1","elapsed_ns":5}` + "\n"
+	if err := os.WriteFile(filepath.Join(src, resultsFile), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warned []string
+	warnf := func(format string, args ...any) { warned = append(warned, format) }
+
+	dst := t.TempDir()
+	stats, err := MergeDirs(dst, []string{src}, warnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 0 {
+		t.Fatalf("merged %d stale records, want 0", stats.Added)
+	}
+	if len(warned) == 0 {
+		t.Fatal("version mismatch produced no warning")
+	}
+	// The rejected source file must be untouched (read-only open).
+	data, err := os.ReadFile(filepath.Join(src, resultsFile))
+	if err != nil || string(data) != stale {
+		t.Fatalf("merge modified the rejected source: %q, %v", data, err)
+	}
+}
+
+func TestMergeDirsMissingSourceErrors(t *testing.T) {
+	if _, err := MergeDirs(t.TempDir(), []string{filepath.Join(t.TempDir(), "nope")}, nil); err == nil {
+		t.Fatal("missing source directory accepted")
+	}
+}
+
+func TestOpenReadOnlyDoesNotCompactOrAppend(t *testing.T) {
+	dir := t.TempDir()
+	runInto(t, dir, mergeCells(t)[:1])
+	// Corrupt trailing line: an exclusive Open would compact it away.
+	path := filepath.Join(dir, resultsFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done() != 1 {
+		t.Fatalf("read-only store loaded %d cells, want 1", st.Done())
+	}
+	if err := st.Append("x", engine.CellResult{}); err == nil {
+		t.Fatal("read-only store accepted an append")
+	}
+	warned := false
+	for _, w := range st.Warnings() {
+		if strings.Contains(w, "corrupt") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatal("corrupt line produced no warning")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("OpenReadOnly modified the store file")
+	}
+}
+
+func TestStoreKeysSortedAndComplete(t *testing.T) {
+	dir := t.TempDir()
+	cells := mergeCells(t)
+	runInto(t, dir, cells)
+	st, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := st.Keys()
+	if len(keys) != len(cells) {
+		t.Fatalf("%d keys, want %d", len(keys), len(cells))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %q before %q", keys[i-1], keys[i])
+		}
+	}
+	for _, c := range cells {
+		if _, ok := st.Lookup(c.Key()); !ok {
+			t.Fatalf("key %q missing", c.Key())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -153,6 +154,34 @@ type Store struct {
 // processes share one sweep directory (lease-based sharding), use OpenShared
 // instead.
 func Open(dir string) (*Store, error) { return open(dir, false) }
+
+// OpenReadOnly loads the completed-cell set of an existing sweep directory
+// without creating, compacting, truncating or appending anything: corrupt
+// lines are skipped with a warning, and a schema/engine version mismatch
+// discards the loaded set (with a warning) but leaves the file untouched.
+// Append and Reset fail on the returned store; Lookup, Keys, Done and
+// Warnings work. The merge tool reads its sources this way so that a
+// version-mismatched source is rejected, never rewritten.
+func OpenReadOnly(dir string) (*Store, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("sweep: open store: %s is not a directory", dir)
+	}
+	s := &Store{
+		dir:  dir,
+		path: filepath.Join(dir, resultsFile),
+		done: make(map[string]Stored),
+	}
+	if _, _, mismatch, _, err := s.load(); err != nil {
+		return nil, err
+	} else if mismatch {
+		s.done = make(map[string]Stored)
+	}
+	return s, nil
+}
 
 // OpenShared is Open for sweep directories that other live processes may be
 // appending to concurrently. It never compacts the record file on load —
@@ -364,6 +393,19 @@ func (s *Store) Append(key string, r engine.CellResult) error {
 	}
 	s.done[key] = rec.stored()
 	return nil
+}
+
+// Keys returns the stored cell keys in sorted order (a stable iteration
+// order for tools that copy stores, like the merge tool).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.done))
+	for k := range s.done {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Done returns the number of completed cells the store knows about.
