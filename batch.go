@@ -64,7 +64,11 @@ type BatchOptions struct {
 	// so its cells re-run. Sharded batches always resume (the shared store
 	// is never reset), and every cooperating worker returns the complete
 	// result set — byte-identical to a single-process run — once the fleet
-	// drains the sweep. Does not compose with AdaptiveCI.
+	// drains the sweep. Composes with AdaptiveCI: the fleet coordinates the
+	// data-dependent adaptive grid through the shared store (any worker can
+	// pick up a group, run its next seed block and re-evaluate the CI
+	// against the merged cross-worker history), converging on the same
+	// per-group seed counts as a single adaptive process.
 	ShardOwner string
 	// LeaseTTL is how long a sharded worker's lease outlives its last
 	// heartbeat before peers may reclaim it (default 30s).
@@ -76,6 +80,14 @@ type BatchOptions struct {
 	Shards int
 	// ShardIndex is this process's static shard (0 <= ShardIndex < Shards).
 	ShardIndex int
+	// Steal enables lease-aware work stealing when ShardOwner and Shards are
+	// both set: once this worker's static share has no claimable cell group
+	// left, it claims unclaimed or expired groups outside the share instead
+	// of idling until peers finish. Stolen groups are arbitrated by the same
+	// leases, so every group still runs exactly once fleet-wide and results
+	// stay byte-identical; the count of stolen groups is reported in
+	// BatchResult.Stolen.
+	Steal bool
 }
 
 // BatchCell identifies one run within a batch.
@@ -142,10 +154,13 @@ type BatchResult struct {
 	Restored int
 	// Claimed and Skipped count the cell groups this worker ran vs left to
 	// peers in a sharded batch (both 0 without sharding), and Reclaimed
-	// counts expired leases taken over from dead workers.
+	// counts expired leases taken over from dead workers. Stolen counts the
+	// claimed groups that lay outside this worker's static share
+	// (BatchOptions.Steal).
 	Claimed   int
 	Skipped   int
 	Reclaimed int
+	Stolen    int
 }
 
 // RunBatch runs a declarative batch of gathering simulations across all CPU
@@ -202,13 +217,11 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		return BatchResult{}, fmt.Errorf("%w: SeedStart must be positive (or 0 for the default), got %d", ErrBadOptions, opts.SeedStart)
 	}
 	sharded := opts.ShardOwner != "" || opts.Shards > 1
-	if sharded {
-		if opts.ShardOwner != "" && opts.SweepDir == "" {
-			return BatchResult{}, fmt.Errorf("%w: ShardOwner requires SweepDir (leases live in the shared sweep directory)", ErrBadOptions)
-		}
-		if opts.AdaptiveCI > 0 {
-			return BatchResult{}, fmt.Errorf("%w: AdaptiveCI does not compose with sharding (the adaptive grid is data-dependent, so shards could not agree on it)", ErrBadOptions)
-		}
+	if sharded && opts.ShardOwner != "" && opts.SweepDir == "" {
+		return BatchResult{}, fmt.Errorf("%w: ShardOwner requires SweepDir (leases live in the shared sweep directory)", ErrBadOptions)
+	}
+	if opts.Steal && opts.ShardOwner == "" {
+		return BatchResult{}, fmt.Errorf("%w: Steal requires ShardOwner (stealing is arbitrated through lease files)", ErrBadOptions)
 	}
 	if opts.Shards < 0 {
 		return BatchResult{}, fmt.Errorf("%w: Shards must be non-negative, got %d", ErrBadOptions, opts.Shards)
@@ -271,19 +284,28 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		stats   sweep.Stats
 		shStats sweep.ShardStats
 	)
+	shard := sweep.Shard{
+		Owner:  opts.ShardOwner,
+		TTL:    opts.LeaseTTL,
+		Shards: opts.Shards,
+		Index:  opts.ShardIndex,
+		Steal:  opts.Steal,
+	}
+	adaptive := sweep.Adaptive{
+		TargetCI: opts.AdaptiveCI,
+		MaxSeeds: opts.AdaptiveMaxSeeds,
+	}
 	switch {
+	case opts.AdaptiveCI > 0 && sharded:
+		results, infos, shStats = sweep.RunAdaptiveSharded(cells, sweepOpts, adaptive, shard)
 	case opts.AdaptiveCI > 0:
-		results, infos, stats = sweep.RunAdaptive(cells, sweepOpts, sweep.Adaptive{
-			TargetCI: opts.AdaptiveCI,
-			MaxSeeds: opts.AdaptiveMaxSeeds,
-		})
+		results, infos, stats = sweep.RunAdaptive(cells, sweepOpts, adaptive)
 	case sharded:
-		results, shStats = sweep.RunSharded(cells, sweepOpts, sweep.Shard{
-			Owner:  opts.ShardOwner,
-			TTL:    opts.LeaseTTL,
-			Shards: opts.Shards,
-			Index:  opts.ShardIndex,
-		})
+		results, shStats = sweep.RunSharded(cells, sweepOpts, shard)
+	default:
+		results, stats = sweep.Run(cells, sweepOpts)
+	}
+	if sharded {
 		stats = shStats.Stats
 		// Cells another shard owns (and no store could merge) are dropped:
 		// the remaining results are exactly this worker's share, still in
@@ -293,8 +315,6 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 			warnings = append(warnings, fmt.Sprintf(
 				"sweep: %d cell groups ran without a lease (lease dir trouble); peers may duplicate that work", shStats.LeaseErrs))
 		}
-	default:
-		results, stats = sweep.Run(cells, sweepOpts)
 	}
 	if stats.AppendErrs > 0 {
 		warnings = append(warnings, fmt.Sprintf(
@@ -318,6 +338,7 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		Claimed:   shStats.GroupsClaimed,
 		Skipped:   shStats.GroupsSkipped,
 		Reclaimed: shStats.LeasesReclaimed,
+		Stolen:    shStats.GroupsStolen,
 	}
 	for i, r := range results {
 		cell := BatchCellResult{

@@ -201,6 +201,59 @@ func TestRunBatchAdaptive(t *testing.T) {
 	}
 }
 
+// TestRunBatchAdaptiveSharded pins the public cross-worker adaptive
+// contract: two RunBatch workers given AdaptiveCI and ShardOwner over one
+// SweepDir coordinate the data-dependent seed grid through the shared store,
+// and each returns exactly what a single adaptive process produces — same
+// cells, same groups, same per-group SeedsUsed — while the fleet executes
+// every adaptive replica exactly once.
+func TestRunBatchAdaptiveSharded(t *testing.T) {
+	opts := BatchOptions{
+		Workloads:        []Workload{WorkloadClustered, WorkloadRing},
+		Ns:               []int{3, 4},
+		Seeds:            2,
+		MaxEvents:        1200,
+		AdaptiveCI:       1e-9,
+		AdaptiveMaxSeeds: 3,
+	}
+	want, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const workers = 2
+	results := make([]BatchResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := opts
+			sh.SweepDir = dir
+			sh.ShardOwner = fmt.Sprintf("worker-%d", w)
+			sh.LeaseTTL = 5 * time.Second
+			results[w], errs[w] = RunBatch(sh)
+		}(w)
+	}
+	wg.Wait()
+
+	executed := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reflect.DeepEqual(results[w].Cells, want.Cells) || !reflect.DeepEqual(results[w].Groups, want.Groups) {
+			t.Fatalf("worker %d adaptive result differs from the single-process batch", w)
+		}
+		executed += results[w].Executed
+	}
+	if executed != len(want.Cells) {
+		t.Fatalf("fleet executed %d adaptive replicas, want exactly %d (no duplicated seeds)", executed, len(want.Cells))
+	}
+}
+
 func TestRunBatchRejectsUnknownWorkload(t *testing.T) {
 	_, err := RunBatch(BatchOptions{
 		Workloads: []Workload{"no-such-workload"},
@@ -314,8 +367,8 @@ func TestRunBatchShardedRejectsBadOptions(t *testing.T) {
 	if _, err := RunBatch(BatchOptions{ShardOwner: "w"}); !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("ShardOwner without SweepDir: got %v", err)
 	}
-	if _, err := RunBatch(BatchOptions{ShardOwner: "w", SweepDir: t.TempDir(), AdaptiveCI: 100}); !errors.Is(err, ErrBadOptions) {
-		t.Fatalf("ShardOwner with AdaptiveCI: got %v", err)
+	if _, err := RunBatch(BatchOptions{Steal: true}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("Steal without ShardOwner: got %v", err)
 	}
 	if _, err := RunBatch(BatchOptions{Shards: 2, ShardIndex: 2}); !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("ShardIndex out of range: got %v", err)

@@ -33,6 +33,21 @@
 //	gatherbench -only E5 -out sweep/ -shard-owner "$(hostname)-$$"
 //	gatherbench -only E5 -shards 2 -shard-id 0   # static split, no shared dir
 //
+// Adaptive sharding: -adaptive-ci composes with -shard-owner. The fleet
+// coordinates the data-dependent seed grid through the shared store plus
+// per-group adaptive-state records (seeds consumed, CI half-width,
+// open/closed) published next to the leases: any worker can pick up a group,
+// run its next seed block, and re-evaluate the confidence interval against
+// the merged cross-worker history. The trajectory is deterministic given the
+// stored results, so every worker converges on the same per-group seed
+// counts and prints tables byte-identical to a single adaptive process. With
+// -shards, -steal lets a worker that drained its static share take over
+// unclaimed or expired tail groups instead of idling:
+//
+//	gatherbench -only E14 -out sweep/ -adaptive-ci 800 -shard-owner w1
+//	gatherbench -only E14 -out sweep/ -adaptive-ci 800 -shard-owner w2
+//	gatherbench -only E5 -out sweep/ -shard-owner w1 -shards 2 -shard-id 0 -steal
+//
 // Merge: static shards that ran WITHOUT a shared filesystem each hold a
 // partial store; copy the sweep directories to one host and merge them
 // (records from a different engine version are rejected), then resume from
@@ -82,10 +97,11 @@ func run(args []string, out io.Writer) error {
 	resume := fs.Bool("resume", false, "re-use completed cells found in -out and run only the missing ones (requires -out)")
 	adaptiveCI := fs.Float64("adaptive-ci", 0, "adaptive seed scheduling: grow each cell group's seeds until the 95% CI half-width of its event count falls below this target (0 = fixed seeds)")
 	adaptiveMax := fs.Int("adaptive-max-seeds", 0, "seed cap per cell group in adaptive mode (0 = default cap)")
-	shardOwner := fs.String("shard-owner", "", "cooperative sharding: this worker's unique id (e.g. host+pid); cell groups are claimed via lease files in the shared -out directory, so N such processes drain one sweep together (requires -out, implies -resume)")
+	shardOwner := fs.String("shard-owner", "", "cooperative sharding: this worker's unique id (e.g. host+pid); cell groups are claimed via lease files in the shared -out directory, so N such processes drain one sweep together (requires -out, implies -resume; composes with -adaptive-ci)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "lease expiry in cooperative sharding: a worker silent this long is presumed dead and its cells re-run (0 = 30s default; requires -shard-owner)")
 	shards := fs.Int("shards", 0, "static sharding: total number of shards; this process runs only cell groups hashing to its -shard-id (works without a shared -out store, but then tables cover only this shard's cells)")
 	shardID := fs.Int("shard-id", 0, "static sharding: this process's shard index in [0, shards)")
+	steal := fs.Bool("steal", false, "lease-aware work stealing: once this worker's static share is drained, claim unclaimed or expired cell groups outside it instead of idling (requires -shard-owner; results are unchanged, only the work distribution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,16 +144,8 @@ func run(args []string, out io.Writer) error {
 	if *shardID != 0 && *shards <= 1 {
 		return fmt.Errorf("-shard-id requires -shards > 1")
 	}
-	if (*shardOwner != "" || *shards > 1) && *adaptiveCI > 0 {
-		// The adaptive grid is data-dependent, so shards cannot agree on it.
-		// Degrade loudly instead of rejecting: the experiments layer runs the
-		// complete adaptive sweep unsharded in this process (byte-identical
-		// to a plain adaptive run) and opens a shared -out store in
-		// no-compact, no-reset mode, so peers given the same flags merely
-		// duplicate the sweep with bit-identical records. The sharding flags
-		// are passed through — the experiments layer needs them to pick the
-		// shared-store mode.
-		fmt.Fprintln(os.Stderr, "gatherbench: -adaptive-ci does not compose with sharding; running the full adaptive sweep unsharded in this process")
+	if *steal && *shardOwner == "" {
+		return fmt.Errorf("-steal requires -shard-owner (stealing is arbitrated through lease files)")
 	}
 	if *crash < 0 {
 		return fmt.Errorf("-crash must be non-negative, got %d", *crash)
@@ -171,6 +179,7 @@ func run(args []string, out io.Writer) error {
 		LeaseTTL:         *leaseTTL,
 		Shards:           *shards,
 		ShardIndex:       *shardID,
+		Steal:            *steal,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "gatherbench: "+format+"\n", args...)
 		},

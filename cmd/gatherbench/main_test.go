@@ -26,6 +26,7 @@ func TestRunRejectsDegenerateFlags(t *testing.T) {
 		{"negative adaptive-ci", []string{"-adaptive-ci", "-1"}, "-adaptive-ci must be non-negative"},
 		{"negative adaptive cap", []string{"-adaptive-max-seeds", "-1"}, "-adaptive-max-seeds must be non-negative"},
 		{"adaptive cap without target", []string{"-adaptive-max-seeds", "8"}, "-adaptive-max-seeds requires -adaptive-ci"},
+		{"steal without owner", []string{"-steal"}, "-steal requires -shard-owner"},
 		{"unknown experiment", []string{"-only", "E99"}, "unknown experiment id"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 		{"unknown adversary", []string{"-adversary", "bogus"}, "unknown adversary strategy"},
@@ -240,8 +241,9 @@ func readStoreKeys(t *testing.T, path string) []string {
 }
 
 // TestRunAdaptiveComposesWithShardOwner drives -adaptive-ci and -shard-owner
-// in one run: the process must degrade loudly to an unsharded adaptive sweep
-// — byte-identical tables to a plain single-process adaptive run, and no
+// in one run: a solo cooperative worker walks the cross-worker adaptive
+// protocol end to end (leases, shared store, adaptive-state records) and must
+// print byte-identical tables to a plain single-process adaptive run, with no
 // seed replica executed (checkpointed) twice.
 func TestRunAdaptiveComposesWithShardOwner(t *testing.T) {
 	adaptive := []string{"-only", "E5", "-seeds", "2", "-max-events", "1200",

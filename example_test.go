@@ -1,0 +1,132 @@
+package fatgather_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/fatgather/fatgather"
+)
+
+// ExampleRunBatch_sweepDir shows checkpointed, resumable batches: the first
+// run streams every cell result to the sweep directory as workers finish;
+// the second run with Resume restores all of them from disk instead of
+// re-simulating, with bit-identical results.
+func ExampleRunBatch_sweepDir() {
+	dir, err := os.MkdirTemp("", "sweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := fatgather.BatchOptions{
+		Workloads: []fatgather.Workload{fatgather.WorkloadClustered},
+		Ns:        []int{3},
+		Seeds:     2,
+		MaxEvents: 500,
+		SweepDir:  dir,
+	}
+	first, err := fatgather.RunBatch(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Resume = true
+	second, err := fatgather.RunBatch(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first run: executed %d, restored %d\n", first.Executed, first.Restored)
+	fmt.Printf("resumed:   executed %d, restored %d\n", second.Executed, second.Restored)
+	// Output:
+	// first run: executed 2, restored 0
+	// resumed:   executed 0, restored 2
+}
+
+// ExampleRunBatch_adaptiveCI shows adaptive seed scheduling: instead of a
+// fixed seed count per grid point, every (workload, n, adversary, algorithm)
+// group keeps receiving seed replicas until the 95% confidence interval of
+// its event count is tight enough — or until the cap. An unreachable target
+// grows each group exactly to the cap, visible in BatchGroup.SeedsUsed.
+func ExampleRunBatch_adaptiveCI() {
+	result, err := fatgather.RunBatch(fatgather.BatchOptions{
+		Workloads:        []fatgather.Workload{fatgather.WorkloadClustered, fatgather.WorkloadRing},
+		Ns:               []int{3},
+		Seeds:            2,
+		MaxEvents:        500,
+		AdaptiveCI:       1e-9, // unreachable: force every group to the cap
+		AdaptiveMaxSeeds: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range result.Groups {
+		fmt.Printf("%s n=%d used %d seeds\n", g.Workload, g.N, g.SeedsUsed)
+	}
+	// Output:
+	// clustered n=3 used 3 seeds
+	// ring n=3 used 3 seeds
+}
+
+// ExampleRunBatch_shardOwner shows cooperative sharding: a worker with a
+// ShardOwner id claims cell groups through lease files in the shared
+// SweepDir, so any number of such processes (one here) drain one sweep
+// together and each returns the complete result set. Start the same program
+// on several hosts sharing the directory to fan a sweep out.
+func ExampleRunBatch_shardOwner() {
+	dir, err := os.MkdirTemp("", "sweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	result, err := fatgather.RunBatch(fatgather.BatchOptions{
+		Workloads:  []fatgather.Workload{fatgather.WorkloadClustered, fatgather.WorkloadRing},
+		Ns:         []int{3},
+		Seeds:      2,
+		MaxEvents:  500,
+		SweepDir:   dir,
+		ShardOwner: "worker-1", // unique per process, e.g. hostname+pid
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("claimed %d cell groups, %d cells total\n", result.Claimed, len(result.Cells))
+	// Output:
+	// claimed 2 cell groups, 4 cells total
+}
+
+// ExampleRunBatch_adaptiveSharded composes the two previous examples:
+// AdaptiveCI with ShardOwner runs the cross-worker adaptive protocol, where
+// a fleet coordinates the data-dependent seed grid through the shared store
+// and converges on the same per-group seed counts as a single adaptive
+// process. A solo worker is shown; peers with the same options would split
+// the groups and print identical aggregates.
+func ExampleRunBatch_adaptiveSharded() {
+	dir, err := os.MkdirTemp("", "sweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	result, err := fatgather.RunBatch(fatgather.BatchOptions{
+		Workloads:        []fatgather.Workload{fatgather.WorkloadClustered},
+		Ns:               []int{3, 4},
+		Seeds:            2,
+		MaxEvents:        500,
+		AdaptiveCI:       1e-9,
+		AdaptiveMaxSeeds: 3,
+		SweepDir:         dir,
+		ShardOwner:       "worker-1",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range result.Groups {
+		fmt.Printf("%s n=%d used %d seeds\n", g.Workload, g.N, g.SeedsUsed)
+	}
+	fmt.Printf("claimed %d cell groups\n", result.Claimed)
+	// Output:
+	// clustered n=3 used 3 seeds
+	// clustered n=4 used 3 seeds
+	// claimed 2 cell groups
+}

@@ -68,6 +68,34 @@ type Perturber interface {
 	PerturbMove(id int, granted, remaining float64) float64
 }
 
+// Unwrapper is implemented by decorators that delegate to an inner Strategy
+// (Crash, Faults, the renaming wrappers). CrashedIDs uses it to find the
+// crash decorator anywhere in a decoration stack.
+type Unwrapper interface {
+	// Unwrap returns the wrapped strategy.
+	Unwrap() Strategy
+}
+
+// CrashedIDs reports the robots that have crash-stopped under the given
+// strategy, in ascending id order, unwrapping any decorators on the way to
+// the crash layer. It returns nil when the strategy injects no crash fault
+// (or when no designated robot has completed its first move yet). The
+// simulator calls it at the end of a run to compute survivor-relative
+// metrics.
+func CrashedIDs(s Strategy) []int {
+	for s != nil {
+		if c, ok := s.(*Crash); ok {
+			return c.CrashedIDs()
+		}
+		u, ok := s.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		s = u.Unwrap()
+	}
+	return nil
+}
+
 // wrapped adapts a legacy sched.Adversary to the Strategy interface. The
 // adapter forwards exactly the information the legacy interface saw (states
 // and remaining distance), so a wrapped adversary consumes its RNG in the

@@ -41,6 +41,9 @@ func (f *Faults) Name() string {
 	return name
 }
 
+// Unwrap returns the wrapped base strategy.
+func (f *Faults) Unwrap() Strategy { return f.inner }
+
 // Next implements Strategy, delegating to the base strategy.
 func (f *Faults) Next(candidates []int, env Env) int { return f.inner.Next(candidates, env) }
 

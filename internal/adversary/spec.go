@@ -200,6 +200,9 @@ type named struct {
 
 func (n named) Name() string { return n.label }
 
+// Unwrap returns the renamed strategy.
+func (n named) Unwrap() Strategy { return n.Strategy }
+
 // Perturb forwards the optional fault hook of the wrapped strategy, keeping
 // the Perturber type assertion visible through the rename.
 func (n named) PerturbView(id int, self geom.Vec, view []geom.Vec) []geom.Vec {
@@ -265,3 +268,6 @@ type plainNamed struct {
 }
 
 func (n plainNamed) Name() string { return n.label }
+
+// Unwrap returns the renamed strategy.
+func (n plainNamed) Unwrap() Strategy { return n.Strategy }

@@ -3,6 +3,7 @@ package adversary
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/fatgather/fatgather/internal/geom"
 	"github.com/fatgather/fatgather/internal/robot"
@@ -220,6 +221,23 @@ func (c *Crash) Name() string { return fmt.Sprintf("%s+crash=%d", c.inner.Name()
 // Crashed reports whether robot id has crash-stopped (designated and past its
 // first completed move).
 func (c *Crash) Crashed(id int) bool { return c.chosen[id] && c.moved[id] }
+
+// CrashedIDs returns the ids of every crash-stopped robot in ascending order
+// (designated robots that have not completed a move yet are still alive and
+// excluded).
+func (c *Crash) CrashedIDs() []int {
+	var ids []int
+	for id := range c.chosen {
+		if c.Crashed(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Unwrap returns the wrapped base strategy.
+func (c *Crash) Unwrap() Strategy { return c.inner }
 
 // observe updates the completed-move tracking and lazily fixes the crash set.
 func (c *Crash) observe(env Env) {

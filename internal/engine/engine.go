@@ -515,6 +515,11 @@ type Group struct {
 	GatheredRate   float64
 	TerminatedRate float64
 	ConnectedRate  float64
+	// SurvivorsGatheredRate is the fraction of successful runs whose
+	// non-crashed robots satisfied the gathering goal among themselves
+	// (sim.Result.SurvivorsGathered); equal to GatheredRate for fault-free
+	// groups.
+	SurvivorsGatheredRate float64
 	// Distributions over the successful runs.
 	Events     metrics.Summary
 	Cycles     metrics.Summary
@@ -527,18 +532,19 @@ type Group struct {
 
 // accum is the running state behind a Group.
 type accum struct {
-	sample     Cell
-	runs       int
-	errors     int
-	gathered   int
-	terminated int
-	connected  int
-	events     []float64
-	cycles     []float64
-	distance   []float64
-	collisions []float64
-	stops      []float64
-	elapsed    time.Duration
+	sample       Cell
+	runs         int
+	errors       int
+	gathered     int
+	terminated   int
+	connected    int
+	survGathered int
+	events       []float64
+	cycles       []float64
+	distance     []float64
+	collisions   []float64
+	stops        []float64
+	elapsed      time.Duration
 }
 
 // Collector folds streaming cell results into per-key aggregates. It is not
@@ -580,6 +586,9 @@ func (c *Collector) Add(r CellResult) {
 	if res.ConnectedAtEnd {
 		a.connected++
 	}
+	if res.SurvivorsGathered {
+		a.survGathered++
+	}
 	a.events = append(a.events, float64(res.Events))
 	a.cycles = append(a.cycles, float64(res.Cycles))
 	a.distance = append(a.distance, res.TotalDistance)
@@ -609,6 +618,7 @@ func (c *Collector) Groups() []Group {
 			g.GatheredRate = float64(a.gathered) / float64(a.runs)
 			g.TerminatedRate = float64(a.terminated) / float64(a.runs)
 			g.ConnectedRate = float64(a.connected) / float64(a.runs)
+			g.SurvivorsGatheredRate = float64(a.survGathered) / float64(a.runs)
 		}
 		out = append(out, g)
 	}

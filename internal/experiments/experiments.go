@@ -97,7 +97,10 @@ type Config struct {
 	// by peers are skipped, and expired leases (dead workers) are reclaimed.
 	// Requires SweepDir; the store is never reset (sharded runs always
 	// resume), and every worker renders the complete, byte-identical tables
-	// once the fleet drains the sweep.
+	// once the fleet drains the sweep. Composes with AdaptiveCI: the fleet
+	// then coordinates the data-dependent adaptive grid through the shared
+	// store and per-group adaptive-state records, converging on the same
+	// per-group seed counts (and tables) as a single-process adaptive run.
 	ShardOwner string
 	// LeaseTTL is the lease expiry in cooperative mode (default
 	// sweep.DefaultLeaseTTL).
@@ -109,6 +112,11 @@ type Config struct {
 	Shards int
 	// ShardIndex is this process's static shard (0 <= ShardIndex < Shards).
 	ShardIndex int
+	// Steal enables lease-aware work stealing when ShardOwner and Shards are
+	// both set: a worker that drains its static share claims unclaimed or
+	// expired tail groups outside it instead of idling until peers finish.
+	// Results stay byte-identical — stealing only redistributes work.
+	Steal bool
 	// Warnf, when non-nil, receives sweep-store warnings (corrupt records
 	// skipped on load, version mismatches, checkpoint failures).
 	Warnf func(format string, args ...any)
@@ -163,6 +171,9 @@ func (c Config) Validate() error {
 	if c.ShardIndex != 0 && c.Shards <= 1 {
 		return fmt.Errorf("experiments: ShardIndex %d requires Shards > 1, got %d", c.ShardIndex, c.Shards)
 	}
+	if c.Steal && c.ShardOwner == "" {
+		return fmt.Errorf("experiments: Steal requires ShardOwner (stealing is arbitrated through lease files)")
+	}
 	return nil
 }
 
@@ -193,7 +204,10 @@ func (c Config) warnf(format string, args ...any) {
 // grows the grid when AdaptiveCI is set. With ShardOwner or Shards set, the
 // grid runs as one worker of a multi-process sharded sweep instead (cells
 // another shard owns and no store can merge are dropped from the returned
-// slice, so partial static tables aggregate only what actually ran). The
+// slice, so partial static tables aggregate only what actually ran);
+// adaptive scheduling composes with sharding through the cross-worker
+// protocol (sweep.RunAdaptiveSharded), so a fleet converges on the same
+// data-dependent grid — and tables — as a single adaptive process. The
 // returned results are otherwise identical to engine.Run on the same cells
 // (plus any adaptive replicas, reported in the GroupSeeds slice, which is nil
 // for fixed-seed runs).
@@ -207,18 +221,13 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 		c.ShardOwner = ""
 		c.Shards, c.ShardIndex = 0, 0
 		c.LeaseTTL = 0
+		c.Steal = false
 	}
 	opts := sweep.Options{Engine: c.engineOpts(), Cache: workload.NewCache()}
-	sharded := c.sharded() && c.AdaptiveCI <= 0
-	// Adaptive scheduling cannot be sharded (the grid is data-dependent), but
-	// a worker given both knobs may still share its SweepDir with peers doing
-	// the same: treat the store as shared — never compact, never reset — so
-	// the worst case is the fleet duplicating the sweep with bit-identical
-	// records, never one worker compacting the file under a peer's appends.
-	adaptiveShared := c.sharded() && c.AdaptiveCI > 0
+	sharded := c.sharded()
 	if c.SweepDir != "" {
 		open := sweep.Open
-		if sharded || adaptiveShared {
+		if sharded {
 			// Peers may be appending to the same store concurrently: load
 			// without compacting, and never reset (sharded runs always
 			// resume — a reset would discard the fleet's work).
@@ -231,7 +240,7 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 			c.warnf("experiments: %s: %v (running without checkpoints)", id, err)
 		} else {
 			defer st.Close()
-			if !c.Resume && !sharded && !adaptiveShared {
+			if !c.Resume && !sharded {
 				if rerr := st.Reset(); rerr != nil {
 					c.warnf("experiments: %s: %v", id, rerr)
 				}
@@ -242,37 +251,49 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 			opts.Store = st
 		}
 	}
-	if c.AdaptiveCI > 0 {
-		if c.sharded() {
-			c.warnf("experiments: %s: adaptive seed scheduling does not compose with sharding; this process runs the full adaptive sweep unsharded (peers given the same flags duplicate it with identical records)", id)
+	if sharded && c.ShardOwner != "" && opts.Store == nil {
+		c.warnf("experiments: %s: lease-based sharding requires a sweep store; running unsharded", id)
+		sharded = false
+	}
+	shard := sweep.Shard{
+		Owner:  c.ShardOwner,
+		TTL:    c.LeaseTTL,
+		Shards: c.Shards,
+		Index:  c.ShardIndex,
+		Steal:  c.Steal,
+	}
+	reportShardStats := func(stats sweep.ShardStats) {
+		if stats.AppendErrs > 0 {
+			c.warnf("experiments: %s: %d results could not be checkpointed", id, stats.AppendErrs)
 		}
-		results, infos, stats := sweep.RunAdaptive(cells, opts, sweep.Adaptive{
-			TargetCI: c.AdaptiveCI,
-			MaxSeeds: c.AdaptiveMaxSeeds,
-		})
+		if stats.LeaseErrs > 0 {
+			c.warnf("experiments: %s: %d cell groups ran without a lease (lease dir trouble); peers may duplicate that work", id, stats.LeaseErrs)
+		}
+		if c.ShardOwner != "" {
+			// A per-worker accounting line (on the warning stream, the only
+			// side channel next to the shared tables): how the fleet's work
+			// actually split. CI smoke jobs assert on it.
+			c.warnf("experiments: %s: worker %s executed %d cells, restored %d (claimed %d groups, stole %d, reclaimed %d leases)",
+				id, c.ShardOwner, stats.Executed, stats.Restored, stats.GroupsClaimed, stats.GroupsStolen, stats.LeasesReclaimed)
+		}
+	}
+	if c.AdaptiveCI > 0 {
+		ad := sweep.Adaptive{TargetCI: c.AdaptiveCI, MaxSeeds: c.AdaptiveMaxSeeds}
+		if sharded {
+			results, infos, stats := sweep.RunAdaptiveSharded(cells, opts, ad, shard)
+			reportShardStats(stats)
+			return sweep.DropNotClaimed(results), infos
+		}
+		results, infos, stats := sweep.RunAdaptive(cells, opts, ad)
 		if stats.AppendErrs > 0 {
 			c.warnf("experiments: %s: %d results could not be checkpointed", id, stats.AppendErrs)
 		}
 		return results, infos
 	}
 	if sharded {
-		if c.ShardOwner != "" && opts.Store == nil {
-			c.warnf("experiments: %s: lease-based sharding requires a sweep store; running unsharded", id)
-		} else {
-			results, stats := sweep.RunSharded(cells, opts, sweep.Shard{
-				Owner:  c.ShardOwner,
-				TTL:    c.LeaseTTL,
-				Shards: c.Shards,
-				Index:  c.ShardIndex,
-			})
-			if stats.AppendErrs > 0 {
-				c.warnf("experiments: %s: %d results could not be checkpointed", id, stats.AppendErrs)
-			}
-			if stats.LeaseErrs > 0 {
-				c.warnf("experiments: %s: %d cell groups ran without a lease (lease dir trouble); peers may duplicate that work", id, stats.LeaseErrs)
-			}
-			return sweep.DropNotClaimed(results), nil
-		}
+		results, stats := sweep.RunSharded(cells, opts, shard)
+		reportShardStats(stats)
+		return sweep.DropNotClaimed(results), nil
 	}
 	results, stats := sweep.Run(cells, opts)
 	if stats.AppendErrs > 0 {
@@ -900,7 +921,7 @@ func E14CrashTolerance(cfg Config, n int) Table {
 	t := Table{
 		ID:      "E14",
 		Title:   fmt.Sprintf("Robustness — crash-stop tolerance (n=%d, clustered workload, fair scheduling)", n),
-		Columns: []string{"crashed k", "runs", "gathered", "connected", "stalled", "median events"},
+		Columns: []string{"crashed k", "runs", "gathered", "survivors-gathered", "connected", "stalled", "median events"},
 	}
 	var cells []engine.Cell
 	for k := 0; k < 4; k++ {
@@ -934,12 +955,14 @@ func E14CrashTolerance(cfg Config, n int) Table {
 		}
 		t.Rows = append(t.Rows, []string{
 			g.Key, fmt.Sprintf("%d", g.Runs),
-			fmtF2(g.GatheredRate), fmtF2(g.ConnectedRate), fmtF2(stallRate),
+			fmtF2(g.GatheredRate), fmtF2(g.SurvivorsGatheredRate),
+			fmtF2(g.ConnectedRate), fmtF2(stallRate),
 			fmtF(g.Events.Median),
 		})
 	}
 	t.Notes = append(t.Notes,
-		"k=0 is the fault-free fair baseline; a crashed robot freezes where its first move ended, so full gathering generally becomes impossible for k >= 1")
+		"k=0 is the fault-free fair baseline; a crashed robot freezes where its first move ended, so full gathering generally becomes impossible for k >= 1",
+		"survivors-gathered evaluates the goal on the non-crashed robots alone (crashed bodies excluded): it can exceed gathered when survivors cluster away from a frozen peer, and fall below it when the crashed body is the only bridge holding the tangency graph together")
 	return t
 }
 

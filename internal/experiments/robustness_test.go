@@ -37,6 +37,29 @@ func TestE14SmallScale(t *testing.T) {
 	if tbl.Rows[0][0] != "0" || tbl.Rows[3][0] != "3" {
 		t.Fatalf("crash counts out of order: %v", tbl.Rows)
 	}
+	// The survivor-relative column evaluates the goal on the non-crashed
+	// robots alone. It is NOT ordered against the full-goal column in
+	// general (a crashed body can bridge — or stand clear of — the
+	// survivors), but for the fault-free k=0 row the two metrics are the
+	// same predicate and must coincide.
+	if tbl.Columns[3] != "survivors-gathered" {
+		t.Fatalf("survivors-gathered column missing: %v", tbl.Columns)
+	}
+	for _, row := range tbl.Rows {
+		var gathered, survivors float64
+		if _, err := fmt.Sscanf(row[2], "%g", &gathered); err != nil {
+			t.Fatalf("bad gathered cell %q: %v", row[2], err)
+		}
+		if _, err := fmt.Sscanf(row[3], "%g", &survivors); err != nil {
+			t.Fatalf("bad survivors-gathered cell %q: %v", row[3], err)
+		}
+		if survivors < 0 || survivors > 1 {
+			t.Fatalf("k=%s: survivors-gathered %.2f outside [0, 1]", row[0], survivors)
+		}
+		if row[0] == "0" && survivors != gathered {
+			t.Fatalf("k=0: survivors-gathered %.2f != gathered %.2f (no crashes, the metrics must coincide)", survivors, gathered)
+		}
+	}
 }
 
 func TestE15SmallScale(t *testing.T) {
@@ -212,10 +235,12 @@ func TestAdversaryOverrideChangesE5(t *testing.T) {
 	}
 }
 
-// TestAdaptiveWithShardingDegradesToUnsharded: Config composing AdaptiveCI
-// with sharding must behave exactly like the unsharded adaptive run (same
-// bytes), with a warning — the library-level counterpart of the CLI test.
-func TestAdaptiveWithShardingDegradesToUnsharded(t *testing.T) {
+// TestAdaptiveShardedMatchesUnshardedAdaptive: Config composing AdaptiveCI
+// with ShardOwner runs the cross-worker adaptive protocol; a solo cooperative
+// worker must render bytes identical to the plain adaptive run — the
+// library-level counterpart of the CLI test, and a second run over the same
+// store must restore the full trajectory instead of re-running it.
+func TestAdaptiveShardedMatchesUnshardedAdaptive(t *testing.T) {
 	plainCfg := quickRobustCfg
 	plainCfg.AdaptiveCI = 0.000001
 	plainCfg.AdaptiveMaxSeeds = 2
@@ -224,21 +249,34 @@ func TestAdaptiveWithShardingDegradesToUnsharded(t *testing.T) {
 	shardCfg := plainCfg
 	shardCfg.SweepDir = t.TempDir()
 	shardCfg.ShardOwner = "w1"
-	var warnings []string
 	shardCfg.Warnf = func(format string, args ...any) {
-		warnings = append(warnings, fmt.Sprintf(format, args...))
+		// The per-worker accounting line is expected; anything else (a
+		// composition or degradation warning) is a regression.
+		if msg := fmt.Sprintf(format, args...); !strings.Contains(msg, "worker w") {
+			t.Errorf("unexpected warning: %s", msg)
+		}
 	}
 	got := E14CrashTolerance(shardCfg, 4).String()
 	if got != plain {
 		t.Fatalf("adaptive+sharded differs from plain adaptive:\n%s\nvs\n%s", got, plain)
 	}
-	found := false
-	for _, w := range warnings {
-		if strings.Contains(w, "does not compose with sharding") {
-			found = true
-		}
+
+	// A late joiner over the drained store recomputes the trajectory from
+	// the records (and the published adaptive-state) without running cells.
+	path := filepath.Join(shardCfg.SweepDir, "E14", "results.jsonl")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !found {
-		t.Fatalf("no composition warning: %v", warnings)
+	shardCfg.ShardOwner = "w2"
+	if again := E14CrashTolerance(shardCfg, 4).String(); again != plain {
+		t.Fatalf("late joiner rendered different tables:\n%s\nvs\n%s", again, plain)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("late joiner re-ran (or duplicated) stored replicas")
 	}
 }

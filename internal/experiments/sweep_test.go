@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -185,6 +186,74 @@ func TestAdaptiveSeedScheduling(t *testing.T) {
 	if len(table.Rows) != 1 || table.Rows[0][1] != "6" {
 		t.Fatalf("expected 6 runs for n=3, got %+v", table.Rows)
 	}
+}
+
+// TestAdaptiveShardedTwoWorkersE14ByteIdentical is the experiment-level
+// acceptance test for cross-worker adaptive scheduling (the README's
+// two-worker walkthrough in miniature): two cooperative workers drain one
+// adaptive E14 sweep concurrently, the data-dependent seed grid converges
+// fleet-wide, and both render tables byte-identical to a single adaptive
+// process — with every seed replica checkpointed exactly once.
+func TestAdaptiveShardedTwoWorkersE14ByteIdentical(t *testing.T) {
+	base := Config{Seeds: 2, MaxEvents: 1500, AdaptiveCI: 0.000001, AdaptiveMaxSeeds: 3}
+	want := E14CrashTolerance(base, 4).String()
+
+	dir := t.TempDir()
+	const workers = 2
+	got := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := base
+			c.SweepDir = dir
+			c.ShardOwner = fmt.Sprintf("worker-%d", w)
+			c.LeaseTTL = 5 * time.Second
+			c.Warnf = t.Logf
+			got[w] = E14CrashTolerance(c, 4).String()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if got[w] != want {
+			t.Fatalf("worker %d adaptive tables are not byte-identical:\n%s\nvs single-process:\n%s", w, got[w], want)
+		}
+	}
+	// No duplicated seeds: every store record is a distinct cell.
+	data, err := os.ReadFile(filepath.Join(dir, "E14", "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		lines++
+		keys[line[strings.Index(line, "\"key\""):strings.Index(line, "\"elapsed_ns\"")]] = true
+	}
+	if len(keys) != lines {
+		t.Fatalf("%d records but only %d distinct cells (duplicated seeds)", lines, len(keys))
+	}
+}
+
+// TestShardOwnerReportsWorkerAccounting pins the per-worker accounting line
+// format: the CI adaptive-shard-smoke job greps for
+// "worker <id> executed N cells" on the warning stream, so rewording the
+// line must fail here before it silently breaks the workflow.
+func TestShardOwnerReportsWorkerAccounting(t *testing.T) {
+	cfg := Config{Seeds: 1, MaxEvents: 800, SweepDir: t.TempDir(), ShardOwner: "w1"}
+	var lines []string
+	cfg.Warnf = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	E5GatheringVsN(cfg, []int{3})
+	pat := regexp.MustCompile(`worker w1 executed [1-9][0-9]* cells`)
+	for _, l := range lines {
+		if pat.MatchString(l) {
+			return
+		}
+	}
+	t.Fatalf("per-worker accounting line missing or reworded (CI greps it): %v", lines)
 }
 
 func equalTables(a, b []string) bool {

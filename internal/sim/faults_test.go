@@ -54,6 +54,53 @@ func TestPartialCrashKeepsSurvivorsLive(t *testing.T) {
 	}
 }
 
+// TestSurvivorMetricsReported pins the survivor-relative result fields:
+// crash runs report how many robots crash-stopped and whether the survivors
+// alone satisfy the gathering goal; fault-free runs report zero crashes and
+// a survivor flag identical to the full goal.
+func TestSurvivorMetricsReported(t *testing.T) {
+	// Fault-free: survivors == everyone.
+	plain, err := Run(workload.TangentRing(2), Options{MaxEvents: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CrashedCount != 0 {
+		t.Fatalf("fault-free run reports %d crashed robots", plain.CrashedCount)
+	}
+	if plain.SurvivorsGathered != plain.Gathered() {
+		t.Fatalf("fault-free SurvivorsGathered %v != Gathered %v", plain.SurvivorsGathered, plain.Gathered())
+	}
+
+	// Full crash: everybody freezes after the first move, n robots crashed,
+	// and the survivor goal over the empty set is trivially false or true —
+	// pin the count, not the vacuous predicate.
+	strat, err := adversary.New(adversary.Spec{Strategy: adversary.NameCrash, Crash: 4}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := Run(workload.Ring(4, 14), Options{Strategy: strat, MaxEvents: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.CrashedCount != 4 {
+		t.Fatalf("crash(4) run reports %d crashed robots, want 4", crashed.CrashedCount)
+	}
+
+	// Partial crash, decorated with noise so the crash layer sits under
+	// another decorator: the count must still surface through the stack.
+	strat, err = adversary.New(adversary.Spec{Strategy: adversary.NameFair, Crash: 1, Noise: 0.01}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Run(workload.Ring(4, 14), Options{Strategy: strat, MaxEvents: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.CrashedCount != 1 {
+		t.Fatalf("crash=1 through a fault decorator reports %d crashed robots, want 1", partial.CrashedCount)
+	}
+}
+
 // TestNoiseKeepsPhysicalInvariants: sensor noise corrupts only the snapshots,
 // so the no-overlap invariant must survive arbitrarily large noise.
 func TestNoiseKeepsPhysicalInvariants(t *testing.T) {

@@ -155,6 +155,16 @@ type Result struct {
 	SpreadSeries      []float64
 	ConnectedAtEnd    bool
 	FullyVisibleAtEnd bool
+	// CrashedCount is the number of robots that crash-stopped during the run
+	// (0 unless the adversary injects crash faults).
+	CrashedCount int
+	// SurvivorsGathered reports whether the gathering goal — connected and
+	// fully visible — holds for the non-crashed robots alone at the end of
+	// the run, with the crashed robots' bodies removed from the evaluated
+	// configuration. Equal to Gathered() in fault-free runs; under crash(k)
+	// it measures how well the survivors solved their restricted task even
+	// though a frozen peer makes the full goal unreachable.
+	SurvivorsGathered bool
 	Err               error
 }
 
@@ -498,6 +508,26 @@ func (s *Simulator) result(outcome Outcome, err error) Result {
 	for k, v := range s.stateVisits {
 		visits[k] = v
 	}
+	connected := cfg.Connected()
+	fully := cfg.FullyVisible(s.opts.Vision)
+	// Survivor-relative goal: re-evaluate gathering on the sub-configuration
+	// of the robots that did not crash-stop. Without crash faults the subsets
+	// coincide, so the survivor flag is exactly Gathered().
+	crashed := adversary.CrashedIDs(s.opts.Strategy)
+	survivorsGathered := connected && fully
+	if len(crashed) > 0 {
+		crashedSet := make(map[int]bool, len(crashed))
+		for _, id := range crashed {
+			crashedSet[id] = true
+		}
+		survivors := make(config.Geometric, 0, s.n-len(crashed))
+		for i, c := range cfg {
+			if !crashedSet[i] {
+				survivors = append(survivors, c)
+			}
+		}
+		survivorsGathered = survivors.Gathered(s.opts.Vision)
+	}
 	return Result{
 		Outcome:           outcome,
 		Algorithm:         s.opts.Algorithm.Name(),
@@ -515,8 +545,10 @@ func (s *Simulator) result(outcome Outcome, err error) Result {
 		StateVisits:       visits,
 		HullAreaSeries:    append([]float64(nil), s.areaSeries...),
 		SpreadSeries:      append([]float64(nil), s.spreadSeries...),
-		ConnectedAtEnd:    cfg.Connected(),
-		FullyVisibleAtEnd: cfg.FullyVisible(s.opts.Vision),
+		ConnectedAtEnd:    connected,
+		FullyVisibleAtEnd: fully,
+		CrashedCount:      len(crashed),
+		SurvivorsGathered: survivorsGathered,
 		Err:               err,
 	}
 }

@@ -35,6 +35,38 @@ func (a Adaptive) withDefaults() Adaptive {
 	return a
 }
 
+// stopAt is the adaptive stopping rule, shared by the single-process and the
+// sharded scheduler so both walk the exact same deterministic trajectory: a
+// group stops growing after seeds replicas when it hit the cap, when the CI
+// over the successful runs' metric values reached the target, or when every
+// replica so far failed to run (more seeds cannot tighten an interval that
+// has no observations). values must be the metric values of the successful
+// runs among exactly the first seeds replicas.
+func (a Adaptive) stopAt(seeds int, values []float64) bool {
+	if seeds >= a.MaxSeeds {
+		return true
+	}
+	if metrics.CI95HalfWidth(values) <= a.TargetCI {
+		return true
+	}
+	return len(values) == 0 && seeds >= 2
+}
+
+// nextReplica derives a group's next seed replica from its sample cell and
+// the maximum workload seed consumed so far: workload seed maxSeed+1, and the
+// adversary seed derived exactly like engine.Batch.Cells does. The full
+// adversary label (not the bare name) feeds the seed stream: fault variants
+// of one strategy must draw decorrelated schedules, and for fault-free cells
+// label == name so historic replica seeds are preserved.
+func nextReplica(sample engine.Cell, maxSeed int64) engine.Cell {
+	next := sample
+	next.WorkloadSeed = maxSeed + 1
+	next.AdversarySeed = engine.DeriveSeed(next.WorkloadSeed,
+		engine.StreamOf(string(next.Workload), next.AdversaryLabel(), next.AlgorithmName()),
+		int64(next.N))
+	return next
+}
+
 // GroupSeeds records what adaptive scheduling did to one cell group.
 type GroupSeeds struct {
 	// Key is the group key: the cell key with both seeds zeroed.
@@ -121,27 +153,10 @@ func RunAdaptive(cells []engine.Cell, opts Options, ad Adaptive) ([]engine.CellR
 		pending = pending[:0:0]
 		for _, key := range order {
 			g := groups[key]
-			if g.seeds >= ad.MaxSeeds {
+			if ad.stopAt(g.seeds, g.values) {
 				continue
 			}
-			if metrics.CI95HalfWidth(g.values) <= ad.TargetCI {
-				continue
-			}
-			if len(g.values) == 0 && g.seeds >= 2 {
-				// Every replica so far failed to run; more seeds cannot
-				// tighten an interval that has no observations.
-				continue
-			}
-			next := g.sample
-			next.WorkloadSeed = g.maxSeed + 1
-			// The full adversary label (not the bare name) feeds the seed
-			// stream, mirroring engine.Batch.Cells: fault variants of one
-			// strategy must draw decorrelated schedules, and for fault-free
-			// cells label == name so historic replica seeds are preserved.
-			next.AdversarySeed = engine.DeriveSeed(next.WorkloadSeed,
-				engine.StreamOf(string(next.Workload), next.AdversaryLabel(), next.AlgorithmName()),
-				int64(next.N))
-			pending = append(pending, next)
+			pending = append(pending, nextReplica(g.sample, g.maxSeed))
 		}
 	}
 	infos := make([]GroupSeeds, 0, len(order))

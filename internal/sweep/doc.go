@@ -18,7 +18,17 @@
 //     store or freshly leased by peers, and reclaims expired leases so a
 //     killed worker's cells are re-run. Cooperating workers drain the sweep
 //     and every one of them returns the complete result set, byte-identical
-//     to a single-process run.
+//     to a single-process run. With Shard.Steal, a worker that drains its
+//     static share claims unclaimed or expired tail groups outside it
+//     instead of idling.
+//   - RunAdaptiveSharded: RunAdaptive across a cooperating fleet. The
+//     adaptive trajectory of a cell group is a deterministic function of its
+//     stored per-replica results, so any worker can claim a group, run its
+//     next seed block, and re-evaluate the stopping rule against the merged
+//     cross-worker history; per-group adaptive-state records (seeds
+//     consumed, CI half-width, open/closed) are published next to the leases
+//     with the same atomic discipline. Every worker converges on identical
+//     per-group seed counts and the exact result order RunAdaptive produces.
 //
 // Correctness never depends on lease arbitration: records are keyed by the
 // cell's full identity and are bit-identical no matter which worker produced

@@ -68,6 +68,16 @@ type Shard struct {
 	Shards int
 	// Index is this worker's static shard index.
 	Index int
+	// Steal enables lease-aware work stealing in cooperative mode with a
+	// static partition: once this worker's own share has no claimable group
+	// left, it claims unclaimed or expired tail groups outside its share
+	// instead of idling until peers finish. Fresh foreign leases are still
+	// respected (the lease layer keeps arbitrating), so stolen groups run
+	// exactly once fleet-wide and results stay byte-identical — stealing
+	// changes who does the work, never what comes out. Requires Owner; a
+	// no-op without a static partition (every group is already this
+	// worker's).
+	Steal bool
 }
 
 func (sh Shard) withDefaults() Shard {
@@ -114,6 +124,10 @@ type ShardStats struct {
 	// LeasesReclaimed counts expired (or corrupt) leases this worker took
 	// over — each one is a dead peer's group being re-run.
 	LeasesReclaimed int
+	// GroupsStolen counts the claimed groups that lay outside this worker's
+	// static share (Shard.Steal): tail work taken over from the fleet once
+	// the worker's own share was drained. Always <= GroupsClaimed.
+	GroupsStolen int
 	// LeaseErrs counts groups whose lease could not be claimed or created at
 	// all (lease directory unwritable, I/O errors). Such groups run without
 	// a lease — liveness and correctness never depend on lease arbitration,
@@ -456,57 +470,82 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 	}
 
 	ran := make(map[string]bool)
+	// visit tries to advance one incomplete cell group (the caller has
+	// already ruled out groups the store completes) and reports whether this
+	// worker acted on it — claimed it, ran it, or hit the leaseless
+	// fallback. A false return means a peer holds a fresh lease.
+	visit := func(gk string) bool {
+		g := groupIdx[gk]
+		if lm == nil {
+			runGroup(g)
+			ran[gk] = true
+			return true
+		}
+		l, reclaimed, err := lm.claim(gk)
+		if err != nil {
+			// The lease layer itself is broken (unwritable lease
+			// directory, I/O error). Leases only split work — never
+			// correctness — so run the group leaseless rather than
+			// spinning forever on a claim that will never succeed;
+			// the worst case is duplicated, bit-identical records.
+			stats.LeaseErrs++
+			runGroup(g)
+			ran[gk] = true
+			return true
+		}
+		if l == nil {
+			return false // freshly leased by a peer
+		}
+		if reclaimed {
+			stats.LeasesReclaimed++
+		}
+		// The peer that held this lease may have finished the group
+		// between our store scan and the claim: re-read the store so
+		// only genuinely missing cells run.
+		if opts.Store != nil {
+			_, _ = opts.Store.Reload()
+		}
+		if !fillFromStore(g) {
+			stopHB := l.heartbeat(sh.Heartbeat)
+			runGroup(g)
+			stopHB()
+			ran[gk] = true
+		}
+		// A group that turned out complete after the claim (the peer
+		// released between our store scan and the claim) counts as
+		// skipped, not claimed: no cell of it ran here.
+		l.release()
+		return true
+	}
 	for {
 		progress := false
+		actedOwn := false
 		for _, gk := range order {
-			g := groupIdx[gk]
-			if fillFromStore(g) {
+			if fillFromStore(groupIdx[gk]) {
 				continue
 			}
 			if !sh.mine(gk) {
 				continue
 			}
-			if lm != nil {
-				l, reclaimed, err := lm.claim(gk)
-				if err != nil {
-					// The lease layer itself is broken (unwritable lease
-					// directory, I/O error). Leases only split work — never
-					// correctness — so run the group leaseless rather than
-					// spinning forever on a claim that will never succeed;
-					// the worst case is duplicated, bit-identical records.
-					stats.LeaseErrs++
-					runGroup(g)
-					ran[gk] = true
-					progress = true
+			if visit(gk) {
+				progress = true
+				actedOwn = true
+			}
+		}
+		// Work stealing: once this worker's static share offers nothing to
+		// claim, take over unclaimed or expired tail groups outside the
+		// share instead of idling until their shard catches up. The lease
+		// layer keeps arbitrating — fresh foreign leases are respected — so
+		// a stolen group still runs exactly once fleet-wide.
+		if lm != nil && sh.Steal && sh.Shards > 1 && !actedOwn {
+			for _, gk := range order {
+				if sh.mine(gk) || fillFromStore(groupIdx[gk]) {
 					continue
 				}
-				if l == nil {
-					continue // freshly leased by a peer
+				if visit(gk) {
+					progress = true
 				}
-				if reclaimed {
-					stats.LeasesReclaimed++
-				}
-				// The peer that held this lease may have finished the group
-				// between our store scan and the claim: re-read the store so
-				// only genuinely missing cells run.
-				if opts.Store != nil {
-					_, _ = opts.Store.Reload()
-				}
-				if !fillFromStore(g) {
-					stopHB := l.heartbeat(sh.Heartbeat)
-					runGroup(g)
-					stopHB()
-					ran[gk] = true
-				}
-				// A group that turned out complete after the claim (the peer
-				// released between our store scan and the claim) counts as
-				// skipped, not claimed: no cell of it ran here.
-				l.release()
-			} else {
-				runGroup(g)
-				ran[gk] = true
 			}
-			progress = true
 		}
 		if allDone() {
 			break
@@ -531,6 +570,9 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 	for _, gk := range order {
 		if ran[gk] {
 			stats.GroupsClaimed++
+			if !sh.mine(gk) {
+				stats.GroupsStolen++
+			}
 		} else {
 			stats.GroupsSkipped++
 		}

@@ -19,8 +19,11 @@ import (
 
 // SchemaVersion is the version of the JSONL record layout. Records written
 // with a different schema (or by a different engine.Version) force a clean
-// re-run: stale results must never leak into a resumed sweep.
-const SchemaVersion = 1
+// re-run: stale results must never leak into a resumed sweep. Version 2
+// added the survivor-relative crash metrics (crashed_count,
+// survivors_gathered) to the result record; version-1 records lack them, so
+// restoring them would render different robustness tables than a fresh run.
+const SchemaVersion = 2
 
 // resultsFile is the name of the record file inside a sweep directory.
 const resultsFile = "results.jsonl"
@@ -59,6 +62,8 @@ type resultRecord struct {
 	SpreadSeries      []float64             `json:"spread_series,omitempty"`
 	ConnectedAtEnd    bool                  `json:"connected_at_end"`
 	FullyVisibleAtEnd bool                  `json:"fully_visible_at_end"`
+	CrashedCount      int                   `json:"crashed_count,omitempty"`
+	SurvivorsGathered bool                  `json:"survivors_gathered"`
 	Err               string                `json:"err,omitempty"`
 }
 
@@ -82,6 +87,8 @@ func toResultRecord(r sim.Result) *resultRecord {
 		SpreadSeries:      r.SpreadSeries,
 		ConnectedAtEnd:    r.ConnectedAtEnd,
 		FullyVisibleAtEnd: r.FullyVisibleAtEnd,
+		CrashedCount:      r.CrashedCount,
+		SurvivorsGathered: r.SurvivorsGathered,
 	}
 	if r.Err != nil {
 		out.Err = r.Err.Error()
@@ -109,6 +116,8 @@ func (r *resultRecord) simResult() sim.Result {
 		SpreadSeries:      r.SpreadSeries,
 		ConnectedAtEnd:    r.ConnectedAtEnd,
 		FullyVisibleAtEnd: r.FullyVisibleAtEnd,
+		CrashedCount:      r.CrashedCount,
+		SurvivorsGathered: r.SurvivorsGathered,
 	}
 	if r.Err != "" {
 		out.Err = errors.New(r.Err)
