@@ -125,6 +125,11 @@ type BatchGroup struct {
 	// GatheredRate and TerminatedRate are fractions of completed runs.
 	GatheredRate   float64
 	TerminatedRate float64
+	// StalledRate and LivelockedRate are the fractions of completed runs
+	// that ended "stalled" (adversary scheduled no robot) respectively
+	// "livelocked" (certified zero-progress cycle).
+	StalledRate    float64
+	LivelockedRate float64
 	// Median cost measures over completed runs.
 	MedianEvents   float64
 	MedianCycles   float64
@@ -368,6 +373,8 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 			Errors:         g.Errors,
 			GatheredRate:   g.GatheredRate,
 			TerminatedRate: g.TerminatedRate,
+			StalledRate:    g.StalledRate,
+			LivelockedRate: g.LivelockedRate,
 			MedianEvents:   g.Events.Median,
 			MedianCycles:   g.Cycles.Median,
 			MedianDistance: g.Distance.Median,

@@ -55,6 +55,15 @@
 //
 //	gatherbench merge -out merged/ sweepA/ sweepB/
 //	gatherbench -only E5 -out merged/ -resume
+//
+// Livelocks: runs certified as zero-progress cycles (outcome "livelocked",
+// see internal/sim/livelock.go) checkpoint a bounded trace snippet of the
+// cycle with their store record; the livelocks subcommand lists them and
+// extracts the snippets for replay with gatherviz -trace:
+//
+//	gatherbench -only E13 -out sweep/
+//	gatherbench livelocks -out traces/ sweep/
+//	gatherviz -trace traces/livelock-000.json
 package main
 
 import (
@@ -72,6 +81,13 @@ import (
 	"github.com/fatgather/fatgather/internal/sweep"
 )
 
+// defaultMaxEvents is the per-run budget of the experiment suite:
+// experiments.DefaultMaxEvents (150000), deliberately smaller than the
+// interactive single-run default sim.DefaultMaxEvents (200000) that
+// gathersim uses — a sweep multiplies the budget across thousands of cells.
+// A test pins both defaults.
+const defaultMaxEvents = experiments.DefaultMaxEvents
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gatherbench:", err)
@@ -83,9 +99,12 @@ func run(args []string, out io.Writer) error {
 	if len(args) > 0 && args[0] == "merge" {
 		return runMerge(args[1:], out)
 	}
+	if len(args) > 0 && args[0] == "livelocks" {
+		return runLivelocks(args[1:], out)
+	}
 	fs := flag.NewFlagSet("gatherbench", flag.ContinueOnError)
 	seeds := fs.Int("seeds", 3, "seeds per experiment cell (must be positive)")
-	maxEvents := fs.Int("max-events", 150000, "event budget per run (must be positive)")
+	maxEvents := fs.Int("max-events", defaultMaxEvents, "event budget per run (must be positive)")
 	workers := fs.Int("workers", 0, "worker pool size for the batch engine (0 = all cores; results are identical for any value)")
 	timing := fs.Bool("timing", false, "print wall-clock per experiment")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
@@ -338,5 +357,90 @@ func runMerge(args []string, out io.Writer) error {
 		}
 		report(dst, st)
 	}
+	return nil
+}
+
+// runLivelocks implements the "livelocks" subcommand: scan sweep stores for
+// runs certified as zero-progress cycles and extract their bounded trace
+// snippets for replay (gatherviz -trace). Each source may be a flat store or
+// a gatherbench -out directory (one store per experiment subdirectory);
+// stores are read without being compacted or rewritten. Without -out the
+// livelocked cells are only listed.
+func runLivelocks(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gatherbench livelocks", flag.ContinueOnError)
+	outDir := fs.String("out", "", "directory to write the snippet files (livelock-NNN.json) into (empty: list only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srcs := fs.Args()
+	if len(srcs) == 0 {
+		return fmt.Errorf("livelocks: no sweep directories given (usage: gatherbench livelocks [-out traces/] sweep1/ sweep2/ ...)")
+	}
+	var stores []string
+	for _, src := range srcs {
+		if _, err := os.Stat(filepath.Join(src, "results.jsonl")); err == nil {
+			stores = append(stores, src)
+			continue
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			return fmt.Errorf("livelocks: %w", err)
+		}
+		found := false
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(src, e.Name(), "results.jsonl")); err == nil {
+				stores = append(stores, filepath.Join(src, e.Name()))
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("livelocks: %s holds no sweep store (no results.jsonl at the top level or one directory below)", src)
+		}
+	}
+	sort.Strings(stores)
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("livelocks: -out: %w", err)
+		}
+	}
+	count := 0
+	for _, dir := range stores {
+		st, err := sweep.OpenReadOnly(dir)
+		if err != nil {
+			return fmt.Errorf("livelocks: %w", err)
+		}
+		for _, warn := range st.Warnings() {
+			fmt.Fprintf(os.Stderr, "gatherbench: livelocks: %s\n", warn)
+		}
+		for _, key := range st.Keys() {
+			stored, ok := st.Lookup(key)
+			if !ok || stored.Err != nil || stored.Result.LivelockTrace == nil {
+				continue
+			}
+			tr := stored.Result.LivelockTrace
+			fmt.Fprintf(out, "%s: %s (adversary %s, n=%d, certified after %d events, %d frames)\n",
+				dir, key, stored.Result.Adversary, stored.Result.N, stored.Result.Events, tr.Len())
+			if *outDir != "" {
+				path := filepath.Join(*outDir, fmt.Sprintf("livelock-%03d.json", count))
+				f, err := os.Create(path)
+				if err != nil {
+					return fmt.Errorf("livelocks: %w", err)
+				}
+				if err := tr.Encode(f); err != nil {
+					f.Close()
+					return fmt.Errorf("livelocks: %w", err)
+				}
+				if err := f.Close(); err != nil {
+					return fmt.Errorf("livelocks: %w", err)
+				}
+				fmt.Fprintf(out, "  wrote %s\n", path)
+			}
+			count++
+		}
+	}
+	fmt.Fprintf(out, "%d livelocked cell(s)\n", count)
 	return nil
 }

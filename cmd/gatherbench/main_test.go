@@ -6,6 +6,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/fatgather/fatgather/internal/adversary"
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/experiments"
+	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/sweep"
+	"github.com/fatgather/fatgather/internal/trace"
+	"github.com/fatgather/fatgather/internal/workload"
 )
 
 // TestRunRejectsDegenerateFlags covers the error paths of run(): flag values
@@ -365,6 +373,140 @@ func TestMergeRejectsBadUsage(t *testing.T) {
 		{"missing out", []string{"merge", t.TempDir()}, "-out is required"},
 		{"no sources", []string{"merge", "-out", t.TempDir()}, "no source directories"},
 		{"source without store", []string{"merge", "-out", t.TempDir(), t.TempDir()}, "holds no sweep store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tc.args, &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %v does not contain %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSweepDefaultsPinned documents the intentional difference between the
+// sweep budget (this command, experiments.DefaultMaxEvents) and the
+// interactive single-run budget (gathersim, sim.DefaultMaxEvents): drifting
+// either is a conscious decision, not an accident.
+func TestSweepDefaultsPinned(t *testing.T) {
+	// defaultMaxEvents is declared as experiments.DefaultMaxEvents; pinning
+	// the value here makes changing either side a conscious decision.
+	if defaultMaxEvents != 150000 {
+		t.Fatalf("gatherbench default budget = %d, want experiments.DefaultMaxEvents (150000)", defaultMaxEvents)
+	}
+	if experiments.DefaultMaxEvents != 150000 {
+		t.Fatalf("experiments.DefaultMaxEvents = %d, want 150000", experiments.DefaultMaxEvents)
+	}
+	if sim.DefaultMaxEvents != 200000 {
+		t.Fatalf("sim.DefaultMaxEvents = %d, want 200000", sim.DefaultMaxEvents)
+	}
+}
+
+// livelockStore builds a sweep store holding one certified livelocked cell
+// (the known round-robin-lag cycle) and one healthy cell, and returns the
+// store directory and the livelocked cell's key.
+func livelockStore(t *testing.T) (string, string) {
+	t.Helper()
+	ll := engine.Cell{
+		Workload:      workload.KindNestedHulls,
+		N:             6,
+		WorkloadSeed:  1,
+		Adversary:     adversary.NameRoundRobinLag,
+		AdversarySeed: 1,
+		MaxEvents:     30000,
+	}
+	healthy := engine.Cell{
+		Workload:     workload.KindClustered,
+		N:            3,
+		WorkloadSeed: 1,
+		MaxEvents:    30000,
+	}
+	cells := []engine.Cell{ll, healthy}
+	results := engine.Run(cells, engine.Options{})
+	if results[0].Err != nil || results[0].Result.LivelockTrace == nil {
+		t.Fatalf("setup needs a certified livelock: err=%v trace=%v",
+			results[0].Err, results[0].Result.LivelockTrace != nil)
+	}
+	dir := t.TempDir()
+	st, err := sweep.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells {
+		if err := st.Append(cell.Key(), results[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	return dir, ll.Key()
+}
+
+// TestLivelocksSubcommand drives the extraction path end to end: the
+// subcommand lists the certified cell (and only it), writes its snippet, and
+// the snippet decodes into a valid replayable trace.
+func TestLivelocksSubcommand(t *testing.T) {
+	dir, key := livelockStore(t)
+	traces := t.TempDir()
+
+	var out strings.Builder
+	if err := run([]string{"livelocks", "-out", traces, dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, key) {
+		t.Fatalf("listing misses the livelocked key %q:\n%s", key, got)
+	}
+	if !strings.Contains(got, "1 livelocked cell(s)") {
+		t.Fatalf("expected exactly one livelocked cell:\n%s", got)
+	}
+	path := filepath.Join(traces, "livelock-000.json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("extracted snippet invalid: %v", err)
+	}
+	if tr.N != 6 || tr.Len() == 0 {
+		t.Fatalf("snippet n=%d frames=%d", tr.N, tr.Len())
+	}
+
+	// The source store must survive untouched (read-only scan), and the
+	// subcommand must also discover stores one directory below (the shape a
+	// gatherbench -out directory has).
+	if _, err := os.Stat(filepath.Join(dir, "results.jsonl")); err != nil {
+		t.Fatalf("source store was disturbed: %v", err)
+	}
+	parent := t.TempDir()
+	sub := filepath.Join(parent, "E13")
+	if err := os.Rename(dir, sub); err != nil {
+		t.Fatal(err)
+	}
+	var nested strings.Builder
+	if err := run([]string{"livelocks", parent}, &nested); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nested.String(), "1 livelocked cell(s)") {
+		t.Fatalf("nested discovery failed:\n%s", nested.String())
+	}
+}
+
+// TestLivelocksRejectsBadUsage covers the livelocks subcommand's own errors.
+func TestLivelocksRejectsBadUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no sources", []string{"livelocks"}, "no sweep directories"},
+		{"source without store", []string{"livelocks", t.TempDir()}, "holds no sweep store"},
+		{"missing source", []string{"livelocks", filepath.Join(t.TempDir(), "nope")}, "no such file"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -13,7 +13,15 @@ import (
 	"os"
 
 	fatgather "github.com/fatgather/fatgather"
+	"github.com/fatgather/fatgather/internal/sim"
 )
+
+// defaultMaxEvents is the interactive single-run budget: sim.DefaultMaxEvents
+// (200000), deliberately larger than the experiment suite's
+// experiments.DefaultMaxEvents (150000) that gatherbench uses — one run gets
+// headroom for slow-converging seeds, a sweep trades that tail for cost. A
+// test pins both defaults.
+const defaultMaxEvents = sim.DefaultMaxEvents
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -29,11 +37,12 @@ func run(args []string, out io.Writer) error {
 	alg := fs.String("algorithm", "agm-gathering", "algorithm (agm-gathering, baseline-gravity, baseline-smalln, baseline-transparent)")
 	adv := fs.String("adversary", "random-async", "adversary (fair, random-async, stop-happy, slow-robot, mover-starver)")
 	seed := fs.Int64("seed", 1, "random seed (workload and adversary)")
-	maxEvents := fs.Int("max-events", 200000, "event budget")
+	maxEvents := fs.Int("max-events", defaultMaxEvents, "event budget")
 	delta := fs.Float64("delta", 0.05, "liveness minimum-progress distance")
 	stopWhenGathered := fs.Bool("stop-when-gathered", false, "stop as soon as the geometric goal holds")
 	ascii := fs.Bool("ascii", false, "print an ASCII sketch of the final configuration")
 	svgPath := fs.String("svg", "", "write an SVG of the final configuration to this file")
+	llTracePath := fs.String("livelock-trace", "", "write the livelock trace snippet (if the run ends livelocked) to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +64,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "algorithm:            %s\n", res.Algorithm)
 	fmt.Fprintf(out, "adversary:            %s\n", res.Adversary)
 	fmt.Fprintf(out, "robots:               %d\n", *n)
+	fmt.Fprintf(out, "outcome:              %s\n", res.Outcome)
 	fmt.Fprintf(out, "gathered:             %v\n", res.Gathered)
 	fmt.Fprintf(out, "all terminated:       %v\n", res.AllTerminated)
 	fmt.Fprintf(out, "events:               %d\n", res.Events)
@@ -73,6 +83,15 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("write svg: %w", err)
 		}
 		fmt.Fprintf(out, "wrote %s\n", *svgPath)
+	}
+	if *llTracePath != "" {
+		if res.LivelockTrace == nil {
+			fmt.Fprintf(out, "no livelock trace recorded (outcome %s)\n", res.Outcome)
+		} else if err := os.WriteFile(*llTracePath, res.LivelockTrace, 0o644); err != nil {
+			return fmt.Errorf("write livelock trace: %w", err)
+		} else {
+			fmt.Fprintf(out, "wrote %s\n", *llTracePath)
+		}
 	}
 	return nil
 }

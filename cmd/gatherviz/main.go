@@ -1,9 +1,12 @@
-// Command gatherviz renders configurations and the paper's figures as SVG.
+// Command gatherviz renders configurations and the paper's figures as SVG,
+// and replays recorded trace snippets (for example the livelock snippets
+// gathersim -livelock-trace and gatherbench livelocks write).
 //
 // Example:
 //
 //	gatherviz -figure fig2 -out fig2.svg
 //	gatherviz -workload nested-hulls -n 12 -seed 4 -out start.svg
+//	gatherviz -trace livelock.json -frame -1 -out cycle.svg
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	fatgather "github.com/fatgather/fatgather"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/trace"
 	"github.com/fatgather/fatgather/internal/viz"
 )
 
@@ -31,9 +35,18 @@ func run(args []string, out io.Writer) error {
 	wl := fs.String("workload", "random", "workload kind to render when -figure is empty")
 	n := fs.Int("n", 8, "number of robots")
 	seed := fs.Int64("seed", 1, "workload seed")
+	tracePath := fs.String("trace", "", "replay a recorded trace file (JSON) instead of rendering a figure or workload")
+	frame := fs.Int("frame", -1, "frame index to render with -trace (negative: from the end, -1 is the last frame)")
 	outPath := fs.String("out", "", "output SVG path (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *tracePath != "" {
+		if *figure != "" {
+			return fmt.Errorf("-trace and -figure are mutually exclusive")
+		}
+		return replayTrace(*tracePath, *frame, *outPath, out)
 	}
 
 	var svg string
@@ -65,5 +78,56 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}
+
+// replayTrace renders one frame of a recorded trace as SVG and prints the
+// snippet's metadata (frame count, event span, per-robot states of the
+// rendered frame) so a livelock snippet is inspectable at a glance.
+func replayTrace(path string, frame int, outPath string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("invalid trace: %w", err)
+	}
+	if tr.Len() == 0 {
+		return fmt.Errorf("trace %s has no frames", path)
+	}
+	idx := frame
+	if idx < 0 {
+		idx = tr.Len() + idx
+	}
+	if idx < 0 || idx >= tr.Len() {
+		return fmt.Errorf("frame %d out of range (trace has %d frames)", frame, tr.Len())
+	}
+	fr := tr.Frames[idx]
+	fmt.Fprintf(out, "trace:     %s (algorithm %s, adversary %s, n=%d)\n", path, tr.Algorithm, tr.Adversary, tr.N)
+	fmt.Fprintf(out, "frames:    %d (events %d..%d)\n", tr.Len(), tr.Frames[0].Event, tr.Frames[tr.Len()-1].Event)
+	fmt.Fprintf(out, "rendering: frame %d (event %d)\n", idx, fr.Event)
+	if len(fr.States) == len(fr.Centers) {
+		for i, st := range fr.States {
+			line := fmt.Sprintf("robot %d: %-7s at (%.3f, %.3f)", i, st, fr.Centers[i].X, fr.Centers[i].Y)
+			if len(fr.Targets) == len(fr.Centers) && fr.Targets[i] != nil {
+				line += fmt.Sprintf(" -> (%.3f, %.3f)", fr.Targets[i].X, fr.Targets[i].Y)
+			}
+			fmt.Fprintf(out, "  %s\n", line)
+		}
+	}
+	svg := viz.SVG(tr.Config(idx), viz.SVGOptions{DrawHull: true, Labels: true})
+	if outPath == "" {
+		fmt.Fprint(out, svg)
+		return nil
+	}
+	if err := os.WriteFile(outPath, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
 	return nil
 }

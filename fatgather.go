@@ -1,6 +1,7 @@
 package fatgather
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -149,6 +150,14 @@ type Result struct {
 	// Algorithm and Adversary echo the names used.
 	Algorithm string
 	Adversary string
+	// Outcome classifies how the run ended: "gathered", "all-terminated",
+	// "stalled", "livelocked", "budget-exhausted" or "error". See the
+	// outcome-taxonomy section of the README for the detection rules.
+	Outcome string
+	// LivelockTrace is a JSON-encoded bounded trace snippet of the certified
+	// zero-progress cycle, nil unless Outcome is "livelocked". The document
+	// can be replayed with gatherviz -trace.
+	LivelockTrace []byte
 }
 
 // ErrBadOptions is returned for invalid option combinations.
@@ -189,6 +198,13 @@ func Run(opts Options) (Result, error) {
 
 // resultFromSim converts a simulator result to the public Result form.
 func resultFromSim(res sim.Result) Result {
+	var llTrace []byte
+	if res.LivelockTrace != nil {
+		var buf bytes.Buffer
+		if err := res.LivelockTrace.Encode(&buf); err == nil {
+			llTrace = buf.Bytes()
+		}
+	}
 	return Result{
 		Gathered:               res.Gathered(),
 		AllTerminated:          res.Outcome == sim.OutcomeAllTerminated,
@@ -201,6 +217,8 @@ func resultFromSim(res sim.Result) Result {
 		Final:                  toPoints(res.Final),
 		Algorithm:              res.Algorithm,
 		Adversary:              res.Adversary,
+		Outcome:                res.Outcome.String(),
+		LivelockTrace:          llTrace,
 	}
 }
 

@@ -26,7 +26,10 @@ const DefaultAdversary = "random-async"
 // force a clean re-run on mismatch; bump it whenever a change makes previously
 // stored results non-reproducible (algorithm, adversary, geometry or seed
 // derivation changes).
-const Version = "fatgather-engine/2"
+// /3: livelock certification (sim/livelock.go) ends zero-progress runs
+// early with OutcomeLivelocked, so any stored run longer than the detection
+// window is no longer reproduced event-for-event by the current engine.
+const Version = "fatgather-engine/3"
 
 // Cell is one independent simulation: a fully self-contained specification
 // whose result depends only on its own fields, never on the surrounding
@@ -520,6 +523,12 @@ type Group struct {
 	// (sim.Result.SurvivorsGathered); equal to GatheredRate for fault-free
 	// groups.
 	SurvivorsGatheredRate float64
+	// StalledRate and LivelockedRate are the fractions of successful runs
+	// that ended OutcomeStalled (adversary scheduled no robot) respectively
+	// OutcomeLivelocked (certified zero-progress cycle). Together with the
+	// rates above they give the per-group outcome taxonomy.
+	StalledRate    float64
+	LivelockedRate float64
 	// Distributions over the successful runs.
 	Events     metrics.Summary
 	Cycles     metrics.Summary
@@ -539,6 +548,8 @@ type accum struct {
 	terminated   int
 	connected    int
 	survGathered int
+	stalled      int
+	livelocked   int
 	events       []float64
 	cycles       []float64
 	distance     []float64
@@ -583,6 +594,12 @@ func (c *Collector) Add(r CellResult) {
 	if res.Outcome == sim.OutcomeAllTerminated {
 		a.terminated++
 	}
+	if res.Outcome == sim.OutcomeStalled {
+		a.stalled++
+	}
+	if res.Outcome == sim.OutcomeLivelocked {
+		a.livelocked++
+	}
 	if res.ConnectedAtEnd {
 		a.connected++
 	}
@@ -619,6 +636,8 @@ func (c *Collector) Groups() []Group {
 			g.TerminatedRate = float64(a.terminated) / float64(a.runs)
 			g.ConnectedRate = float64(a.connected) / float64(a.runs)
 			g.SurvivorsGatheredRate = float64(a.survGathered) / float64(a.runs)
+			g.StalledRate = float64(a.stalled) / float64(a.runs)
+			g.LivelockedRate = float64(a.livelocked) / float64(a.runs)
 		}
 		out = append(out, g)
 	}

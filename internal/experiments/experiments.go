@@ -60,10 +60,18 @@ func (t Table) String() string {
 	return b.String()
 }
 
+// DefaultMaxEvents is the per-run event budget when Config.MaxEvents is
+// unset, shared by the whole experiment suite and by gatherbench's
+// -max-events default. It is deliberately smaller than sim.DefaultMaxEvents
+// (200000): a sweep multiplies the budget across thousands of cells, so the
+// suite trades the last slow-converging tail for cost, while a single
+// interactive run keeps the headroom. Both defaults are pinned by tests.
+const DefaultMaxEvents = 150000
+
 // Config bundles the knobs shared by the experiment drivers.
 type Config struct {
 	Seeds     int // number of seeds per cell (default 5)
-	MaxEvents int // event budget per run (default 150000)
+	MaxEvents int // event budget per run (default DefaultMaxEvents)
 	// Adversary, when non-empty, is an adversary spec string
 	// (adversary.ParseSpec: "fair", "crash(2)", "greedy-stall+noise=0.1")
 	// that overrides the fixed adversary of the single-adversary multi-run
@@ -182,7 +190,7 @@ func (c Config) withDefaults() Config {
 		c.Seeds = 5
 	}
 	if c.MaxEvents <= 0 {
-		c.MaxEvents = 150000
+		c.MaxEvents = DefaultMaxEvents
 	}
 	return c
 }
@@ -842,18 +850,6 @@ func E12Primitives(cfg Config) Table {
 	return t
 }
 
-// stalledCounts tallies, per collector key, how many of a result set's runs
-// ended stalled (the crash-stop outcome: only crashed robots remained).
-func stalledCounts(results []engine.CellResult, keyOf func(engine.CellResult) string) map[string]int {
-	out := make(map[string]int)
-	for _, r := range results {
-		if r.Err == nil && r.Result.Outcome == sim.OutcomeStalled {
-			out[keyOf(r)]++
-		}
-	}
-	return out
-}
-
 // E13StrategyCross crosses every adversary strategy — the legacy policies
 // plus the environment-aware greedy-stall, round-robin-lag and crash(1) —
 // with workload shapes: the full robustness picture the correctness claims
@@ -865,7 +861,7 @@ func E13StrategyCross(cfg Config, n int) Table {
 	t := Table{
 		ID:      "E13",
 		Title:   fmt.Sprintf("Robustness — adversary strategy cross vs workload (n=%d)", n),
-		Columns: []string{"strategy", "workload", "runs", "gathered", "stalled", "median events", "median stops"},
+		Columns: []string{"strategy", "workload", "runs", "gathered", "stalled", "livelocked", "median events", "median stops"},
 	}
 	workloads := []workload.Kind{workload.KindClustered, workload.KindNestedHulls, workload.KindRing}
 	var cells []engine.Cell
@@ -894,21 +890,17 @@ func E13StrategyCross(cfg Config, n int) Table {
 		return fmt.Sprintf("%s|%s", r.Cell.AdversaryLabel(), r.Cell.Workload)
 	}
 	groups := collect(results, keyOf)
-	stalled := stalledCounts(results, keyOf)
 	adaptiveNotes(&t, infos)
 	for _, g := range groups {
-		stallRate := 0.0
-		if g.Runs > 0 {
-			stallRate = float64(stalled[g.Key]) / float64(g.Runs)
-		}
 		t.Rows = append(t.Rows, []string{
 			g.Sample.AdversaryLabel(), string(g.Sample.Workload), fmt.Sprintf("%d", g.Runs),
-			fmtF2(g.GatheredRate), fmtF2(stallRate),
+			fmtF2(g.GatheredRate), fmtF2(g.StalledRate), fmtF2(g.LivelockedRate),
 			fmtF(g.Events.Median), fmtF(g.Stops.Median),
 		})
 	}
 	t.Notes = append(t.Notes,
-		"crash(1) stalls by design once every surviving robot terminates; every fault-free strategy should still gather (delay, not prevention)")
+		"crash(1) stalls by design once every surviving robot terminates; every fault-free strategy should still gather (delay, not prevention)",
+		"livelocked runs are certified zero-progress cycles (blocked-path schedules such as round-robin-lag); they end at certification instead of burning the event budget, so their median events measures time-to-certification, not the budget")
 	return t
 }
 
@@ -921,7 +913,7 @@ func E14CrashTolerance(cfg Config, n int) Table {
 	t := Table{
 		ID:      "E14",
 		Title:   fmt.Sprintf("Robustness — crash-stop tolerance (n=%d, clustered workload, fair scheduling)", n),
-		Columns: []string{"crashed k", "runs", "gathered", "survivors-gathered", "connected", "stalled", "median events"},
+		Columns: []string{"crashed k", "runs", "gathered", "survivors-gathered", "connected", "stalled", "livelocked", "median events"},
 	}
 	var cells []engine.Cell
 	for k := 0; k < 4; k++ {
@@ -946,17 +938,12 @@ func E14CrashTolerance(cfg Config, n int) Table {
 	results, infos := cfg.runCells("E14", cells)
 	keyOf := func(r engine.CellResult) string { return fmt.Sprintf("%d", r.Cell.Crash) }
 	groups := collect(results, keyOf)
-	stalled := stalledCounts(results, keyOf)
 	adaptiveNotes(&t, infos)
 	for _, g := range groups {
-		stallRate := 0.0
-		if g.Runs > 0 {
-			stallRate = float64(stalled[g.Key]) / float64(g.Runs)
-		}
 		t.Rows = append(t.Rows, []string{
 			g.Key, fmt.Sprintf("%d", g.Runs),
 			fmtF2(g.GatheredRate), fmtF2(g.SurvivorsGatheredRate),
-			fmtF2(g.ConnectedRate), fmtF2(stallRate),
+			fmtF2(g.ConnectedRate), fmtF2(g.StalledRate), fmtF2(g.LivelockedRate),
 			fmtF(g.Events.Median),
 		})
 	}

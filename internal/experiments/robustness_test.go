@@ -28,6 +28,48 @@ func TestE13SmallScale(t *testing.T) {
 	}
 }
 
+// TestE13LivelockCertification is the end-to-end regression for the
+// livelock-misreporting bug: at a budget large enough for certification
+// (the 1500-event quick config is below the detection window on purpose),
+// every round-robin-lag cell must be reported livelocked in the E13 table,
+// with a median event count far below the budget those runs used to burn.
+func TestE13LivelockCertification(t *testing.T) {
+	const budget = 30000
+	tbl := E13StrategyCross(Config{Seeds: 2, MaxEvents: budget}, 6)
+	liveCol, eventsCol := -1, -1
+	for i, c := range tbl.Columns {
+		switch c {
+		case "livelocked":
+			liveCol = i
+		case "median events":
+			eventsCol = i
+		}
+	}
+	if liveCol < 0 || eventsCol < 0 {
+		t.Fatalf("E13 columns missing livelocked/median events: %v", tbl.Columns)
+	}
+	checked := 0
+	for _, row := range tbl.Rows {
+		if row[0] != "round-robin-lag" {
+			continue
+		}
+		checked++
+		if row[liveCol] != "1.00" {
+			t.Fatalf("round-robin-lag/%s: livelocked rate %s, want 1.00\n%s", row[1], row[liveCol], tbl.String())
+		}
+		var events float64
+		if _, err := fmt.Sscanf(row[eventsCol], "%f", &events); err != nil {
+			t.Fatalf("bad median events %q: %v", row[eventsCol], err)
+		}
+		if events >= budget/2 {
+			t.Fatalf("round-robin-lag/%s: median events %.0f not well under the %d budget", row[1], events, budget)
+		}
+	}
+	if checked != 3 {
+		t.Fatalf("expected 3 round-robin-lag rows, checked %d", checked)
+	}
+}
+
 func TestE14SmallScale(t *testing.T) {
 	tbl := E14CrashTolerance(quickRobustCfg, 4)
 	checkTable(t, tbl, "E14")

@@ -11,6 +11,7 @@ import (
 	"github.com/fatgather/fatgather/internal/geom"
 	"github.com/fatgather/fatgather/internal/robot"
 	"github.com/fatgather/fatgather/internal/sched"
+	"github.com/fatgather/fatgather/internal/trace"
 	"github.com/fatgather/fatgather/internal/vision"
 )
 
@@ -52,6 +53,18 @@ const (
 	// (every remaining candidate has crash-stopped), so no further event can
 	// change the configuration.
 	OutcomeStalled
+	// OutcomeLivelocked: the zero-progress cycle detector certified a
+	// livelock — the configuration recurred exactly (positions, protocol
+	// states, targets, views) with no distance advanced and no robot
+	// terminated in between — so the run can never make progress again.
+	// Before this outcome existed such runs burned the whole event budget
+	// and were misreported as OutcomeBudgetExhausted. See livelock.go.
+	OutcomeLivelocked
+	// OutcomeError: the run aborted on a simulation error (Result.Err holds
+	// it) — an invariant violation under ValidateEveryEvent, an illegal
+	// robot state transition, or a strategy scheduling outside the candidate
+	// set (ErrBadSchedule).
+	OutcomeError
 )
 
 // String implements fmt.Stringer.
@@ -65,10 +78,22 @@ func (o Outcome) String() string {
 		return "budget-exhausted"
 	case OutcomeStalled:
 		return "stalled"
+	case OutcomeLivelocked:
+		return "livelocked"
+	case OutcomeError:
+		return "error"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
 }
+
+// DefaultMaxEvents is the event budget when Options.MaxEvents is unset. It
+// is deliberately larger than experiments.DefaultMaxEvents (150000): a
+// single interactive run (gathersim) gets headroom for slow-converging
+// seeds, while the experiment suite and gatherbench trade that tail
+// coverage for sweep cost across thousands of cells. Both defaults are
+// pinned by tests so a drift in either is a conscious decision.
+const DefaultMaxEvents = 200000
 
 // Options configures a simulation run.
 type Options struct {
@@ -88,7 +113,10 @@ type Options struct {
 	// Delta is the liveness minimum-progress distance; <=0 means
 	// sched.DefaultDelta.
 	Delta float64
-	// MaxEvents bounds the number of events; <=0 means 200000.
+	// MaxEvents bounds the number of events; <=0 means DefaultMaxEvents.
+	// Note: the experiment suite (internal/experiments) and gatherbench run
+	// with the smaller experiments.DefaultMaxEvents budget; the single-run
+	// default here deliberately leaves extra headroom. See DefaultMaxEvents.
 	MaxEvents int
 	// StopWhenGathered ends the run as soon as the configuration is connected
 	// and fully visible, even if robots have not locally terminated yet.
@@ -99,6 +127,24 @@ type Options struct {
 	// ValidateEveryEvent re-checks the no-overlap invariant after every
 	// event; slower but used extensively in tests.
 	ValidateEveryEvent bool
+	// NoLivelockDetection disables the zero-progress cycle detector
+	// (livelock.go); runs that would be certified livelocked then burn the
+	// event budget and end OutcomeBudgetExhausted, as they did before the
+	// detector existed.
+	NoLivelockDetection bool
+	// LivelockWindow is the number of consecutive zero-progress events after
+	// which the detector starts fingerprinting configurations; <=0 means
+	// DefaultLivelockWindow. The window must stay above any zero-progress
+	// streak a healthy run exhibits (see livelock.go for measured streaks).
+	LivelockWindow int
+	// LivelockRecurrences is how many times one configuration signature must
+	// recur with zero progress in between before the livelock is certified;
+	// <=0 means DefaultLivelockRecurrences.
+	LivelockRecurrences int
+	// LivelockTraceFrames bounds the trace snippet captured around the
+	// certified cycle (Result.LivelockTrace); 0 means
+	// DefaultLivelockTraceFrames, negative disables snippet capture.
+	LivelockTraceFrames int
 }
 
 func (o Options) withDefaults() Options {
@@ -119,7 +165,16 @@ func (o Options) withDefaults() Options {
 		o.Delta = sched.DefaultDelta
 	}
 	if o.MaxEvents <= 0 {
-		o.MaxEvents = 200000
+		o.MaxEvents = DefaultMaxEvents
+	}
+	if o.LivelockWindow <= 0 {
+		o.LivelockWindow = DefaultLivelockWindow
+	}
+	if o.LivelockRecurrences <= 0 {
+		o.LivelockRecurrences = DefaultLivelockRecurrences
+	}
+	if o.LivelockTraceFrames == 0 {
+		o.LivelockTraceFrames = DefaultLivelockTraceFrames
 	}
 	return o
 }
@@ -165,7 +220,12 @@ type Result struct {
 	// it measures how well the survivors solved their restricted task even
 	// though a frozen peer makes the full goal unreachable.
 	SurvivorsGathered bool
-	Err               error
+	// LivelockTrace is a bounded snippet of the certified zero-progress
+	// cycle, recorded by the livelock detector for offline inspection
+	// (gatherviz -trace). Nil unless Outcome is OutcomeLivelocked and
+	// snippet capture is enabled (Options.LivelockTraceFrames >= 0).
+	LivelockTrace *trace.Trace
+	Err           error
 }
 
 // Gathered reports whether the final configuration satisfies the geometric
@@ -197,6 +257,16 @@ type Simulator struct {
 	envStates  []robot.State
 	envCenters []geom.Vec
 	envTargets []geom.Vec
+
+	// Livelock detection state (livelock.go). progressed is set by any event
+	// that advances a robot or terminates one; zeroStreak counts consecutive
+	// events without progress.
+	progressed bool
+	zeroStreak int
+	llSeen     map[string]int
+	llSig      []byte
+	llFrames   []trace.Frame
+	llTrace    *trace.Trace
 }
 
 // ErrStalled is returned by Step when the adversary strategy declines to
@@ -267,8 +337,10 @@ func (s *Simulator) Run() Result {
 		}
 		if err := s.Step(); errors.Is(err, ErrStalled) {
 			return s.result(OutcomeStalled, nil)
+		} else if errors.Is(err, ErrLivelocked) {
+			return s.result(OutcomeLivelocked, nil)
 		} else if err != nil {
-			return s.result(OutcomeBudgetExhausted, err)
+			return s.result(OutcomeError, err)
 		}
 	}
 	if s.AllTerminated() {
@@ -299,8 +371,16 @@ func (s *Simulator) env() adversary.Env {
 	return adversary.Env{States: s.envStates, Centers: s.envCenters, Targets: s.envTargets}
 }
 
+// ErrBadSchedule is returned by Step when the strategy picks a robot outside
+// the candidate set (out of range or already terminated). Such picks used to
+// be silently coerced to candidates[0], which masked buggy strategies behind
+// a quietly different schedule; now the run fails loudly (OutcomeError).
+var ErrBadSchedule = errors.New("sim: strategy scheduled a robot outside the candidate set")
+
 // Step executes a single event chosen by the adversary strategy. It returns
-// ErrStalled when the strategy schedules no robot (see OutcomeStalled).
+// ErrStalled when the strategy schedules no robot (see OutcomeStalled),
+// ErrLivelocked when the zero-progress cycle detector certifies a livelock
+// (see OutcomeLivelocked), and ErrBadSchedule on an invalid pick.
 func (s *Simulator) Step() error {
 	candidates := s.activeCandidates()
 	if len(candidates) == 0 {
@@ -311,8 +391,16 @@ func (s *Simulator) Step() error {
 	if id == adversary.NoRobot {
 		return ErrStalled
 	}
-	if id < 0 || id >= s.n || s.robots[id].Terminated() {
-		id = candidates[0]
+	valid := false
+	for _, c := range candidates {
+		if c == id {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("%w: strategy %q picked robot %d of %d (candidates %v)",
+			ErrBadSchedule, s.opts.Strategy.Name(), id, s.n, candidates)
 	}
 	r := s.robots[id]
 
@@ -338,6 +426,9 @@ func (s *Simulator) Step() error {
 		if verr := s.Config().Validate(); verr != nil {
 			return fmt.Errorf("sim: invariant violated after event %d: %w", s.events, verr)
 		}
+	}
+	if !s.opts.NoLivelockDetection && s.noteLivelockProgress() {
+		return ErrLivelocked
 	}
 	return nil
 }
@@ -381,6 +472,9 @@ func (s *Simulator) eventComputeOutcome(r *robot.Robot) error {
 		if s.milestones.FirstTerminate < 0 {
 			s.milestones.FirstTerminate = s.events
 		}
+		// A termination is progress: it shrinks the candidate set for good,
+		// so the run cannot be cycling.
+		s.progressed = true
 		return r.Done()
 	}
 	return r.BeginMove(decision.Target)
@@ -419,6 +513,11 @@ func (s *Simulator) eventAdvance(r *robot.Robot, env adversary.Env) error {
 
 	free, blockedBy := s.freeDistance(r, dist)
 	r.Advance(free)
+	if free > 0 {
+		// Cumulative distance advanced: any positive step changes the
+		// configuration, so the zero-progress streak resets.
+		s.progressed = true
+	}
 
 	switch {
 	case blockedBy >= 0:
@@ -549,6 +648,7 @@ func (s *Simulator) result(outcome Outcome, err error) Result {
 		FullyVisibleAtEnd: fully,
 		CrashedCount:      len(crashed),
 		SurvivorsGathered: survivorsGathered,
+		LivelockTrace:     s.llTrace,
 		Err:               err,
 	}
 }

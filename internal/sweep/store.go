@@ -15,6 +15,7 @@ import (
 	"github.com/fatgather/fatgather/internal/core"
 	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/sim"
+	"github.com/fatgather/fatgather/internal/trace"
 )
 
 // SchemaVersion is the version of the JSONL record layout. Records written
@@ -23,7 +24,12 @@ import (
 // added the survivor-relative crash metrics (crashed_count,
 // survivors_gathered) to the result record; version-1 records lack them, so
 // restoring them would render different robustness tables than a fresh run.
-const SchemaVersion = 2
+// Version 3 added livelock certification: the livelock_trace snippet field,
+// and — together with the engine bump to fatgather-engine/3 — the fact that
+// zero-progress runs now end OutcomeLivelocked well before the budget, so
+// v2 records of such runs describe executions the current engine no longer
+// produces. v2 stores are discarded on open and re-run cleanly.
+const SchemaVersion = 3
 
 // resultsFile is the name of the record file inside a sweep directory.
 const resultsFile = "results.jsonl"
@@ -64,6 +70,7 @@ type resultRecord struct {
 	FullyVisibleAtEnd bool                  `json:"fully_visible_at_end"`
 	CrashedCount      int                   `json:"crashed_count,omitempty"`
 	SurvivorsGathered bool                  `json:"survivors_gathered"`
+	LivelockTrace     *trace.Trace          `json:"livelock_trace,omitempty"`
 	Err               string                `json:"err,omitempty"`
 }
 
@@ -89,6 +96,7 @@ func toResultRecord(r sim.Result) *resultRecord {
 		FullyVisibleAtEnd: r.FullyVisibleAtEnd,
 		CrashedCount:      r.CrashedCount,
 		SurvivorsGathered: r.SurvivorsGathered,
+		LivelockTrace:     r.LivelockTrace,
 	}
 	if r.Err != nil {
 		out.Err = r.Err.Error()
@@ -118,6 +126,7 @@ func (r *resultRecord) simResult() sim.Result {
 		FullyVisibleAtEnd: r.FullyVisibleAtEnd,
 		CrashedCount:      r.CrashedCount,
 		SurvivorsGathered: r.SurvivorsGathered,
+		LivelockTrace:     r.LivelockTrace,
 	}
 	if r.Err != "" {
 		out.Err = errors.New(r.Err)

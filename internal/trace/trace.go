@@ -15,10 +15,15 @@ type Point struct {
 	Y float64 `json:"y"`
 }
 
-// Frame is one recorded configuration.
+// Frame is one recorded configuration. States and Targets are optional
+// annotations used by livelock snippets (internal/sim): States holds the
+// per-robot protocol state name and Targets the destination of each robot
+// currently in its Move state (null for the others). Plain traces omit both.
 type Frame struct {
-	Event   int     `json:"event"`
-	Centers []Point `json:"centers"`
+	Event   int      `json:"event"`
+	Centers []Point  `json:"centers"`
+	States  []string `json:"states,omitempty"`
+	Targets []*Point `json:"targets,omitempty"`
 }
 
 // Trace is a recorded execution.
@@ -86,6 +91,11 @@ func (t *Trace) Validate() error {
 		}
 		if err := cfg.Validate(); err != nil {
 			return fmt.Errorf("trace frame %d: %w", i, err)
+		}
+		if f := t.Frames[i]; len(f.States) > 0 && len(f.States) != t.N {
+			return fmt.Errorf("trace frame %d: %d states, expected %d", i, len(f.States), t.N)
+		} else if len(f.Targets) > 0 && len(f.Targets) != t.N {
+			return fmt.Errorf("trace frame %d: %d targets, expected %d", i, len(f.Targets), t.N)
 		}
 	}
 	return nil

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench-snapshot.sh — run every benchmark once (the CI bench smoke, plus
+# -benchmem) and write a machine-readable snapshot BENCH_<rev>.json mapping
+# each benchmark to its ns/op and allocs/op.
+#
+# The snapshot is a coarse performance fingerprint of one revision, not a
+# statistically careful measurement: -benchtime 1x keeps it cheap enough to
+# run on every CI push, allocs/op is exact (allocation counts are
+# deterministic), and ns/op is indicative only. Compare snapshots across
+# revisions to spot allocation regressions and order-of-magnitude slowdowns;
+# use `go test -bench . -benchtime 10s -count 10` + benchstat for real
+# performance work.
+#
+# Usage: scripts/bench-snapshot.sh [output.json]
+#   default output: BENCH_<git short rev>.json in the repo root
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rev=$(git rev-parse --short HEAD)
+out="${1:-BENCH_${rev}.json}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run XXX -bench . -benchtime 1x -benchmem ./... | tee "$raw"
+
+# Benchmark result lines look like
+#   BenchmarkName/sub-8   1   123456 ns/op   2048 B/op   12 allocs/op
+# with the current package announced on preceding "pkg:" lines. Keys are
+# "<package>:<name>" (GOMAXPROCS suffix stripped, package relative to the
+# module root) so identically named benchmarks in different packages cannot
+# collide; sorting keeps the file diffable across revisions.
+awk -v rev="$rev" '
+  $1 == "pkg:" {
+    pkg = $2
+    sub(/^github\.com\/fatgather\/fatgather\/?/, "", pkg)
+    if (pkg == "") pkg = "."
+    next
+  }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = "0"
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i - 1)
+      if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns != "") printf "%s:%s\t%s\t%s\n", pkg, name, ns, allocs
+  }
+' "$raw" | sort | awk -v rev="$rev" '
+  BEGIN { printf "{\n  \"rev\": \"%s\",\n  \"benchmarks\": {\n", rev }
+  {
+    if (NR > 1) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3
+  }
+  END { printf "\n  }\n}\n" }
+' > "$out"
+
+count=$(grep -c '"ns_per_op"' "$out")
+if [ "$count" -eq 0 ]; then
+  echo "bench-snapshot: no benchmark results parsed" >&2
+  exit 1
+fi
+echo "wrote $out ($count benchmarks)"
