@@ -1,0 +1,236 @@
+// Command gatherlint statically enforces the repository's determinism
+// contract. It runs the analyzer suite from internal/lint (detmaprange,
+// nondetsource, floateq, publishdiscipline, errclose) in one of two modes:
+//
+// Standalone, against package patterns (the default is ./...):
+//
+//	go run ./cmd/gatherlint ./...
+//
+// findings are printed one per line and the exit status is 1 when any
+// finding survives its //gatherlint:ignore directives.
+//
+// As a vet tool, speaking the cmd/vet unit-checker protocol:
+//
+//	go vet -vettool=$(go env GOPATH)/bin/gatherlint ./...
+//
+// In this mode vet invokes the binary once per package unit with a JSON
+// config file; findings go to stderr and the exit status is 2, which vet
+// reports as a failure of that package. Test files are excluded in both
+// modes: the determinism contract binds result-producing code, and tests
+// routinely (and legitimately) read clocks, write scratch files and discard
+// Close errors on t.TempDir state.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/fatgather/fatgather/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gatherlint: ")
+	version := flag.String("V", "", "print version and exit (the vet handshake passes -V=full)")
+	printFlags := flag.Bool("flags", false, "print the analyzer flags as JSON and exit (vet handshake)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gatherlint [package pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=/path/to/gatherlint [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range lint.Analyzers() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, doc)
+		}
+	}
+	flag.Parse()
+
+	if *version != "" {
+		// vet caches analysis results keyed on this line, so it must change
+		// whenever the binary does: hash the executable itself.
+		fmt.Printf("gatherlint version devel buildID=%s\n", selfID())
+		return
+	}
+	if *printFlags {
+		// None of the analyzers takes flags.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone loads the patterns via the go command and lints every
+// non-dependency package. Exit status: 0 clean, 1 findings, 2 failure.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the unit-checker configuration cmd/vet writes for each
+// package unit. Only the fields gatherlint consumes are listed; unknown
+// fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one vet unit described by a .cfg file. Exit status: 0
+// clean, 2 findings (the unit-checker convention), 1 failure.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("%s: %v", cfgPath, err)
+		return 1
+	}
+	// vet always expects the facts file to appear; gatherlint's analyzers
+	// exchange no facts, so it is empty.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Print(err)
+			return false
+		}
+		return true
+	}
+	// Test-expanded units ("p [p.test]" and friends) re-list the plain
+	// sources plus _test.go files under an undecorated ImportPath. The plain
+	// unit already covers the non-test sources, and test files are outside
+	// the contract, so those units are inert here.
+	if cfg.VetxOnly || strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		if !writeVetx() {
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		if !writeVetx() {
+			return 1
+		}
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tpkg, info, err := lint.CheckFiles(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			if !writeVetx() {
+				return 1
+			}
+			return 0
+		}
+		log.Print(err)
+		return 1
+	}
+	pkg := &lint.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	findings, err := lint.Apply(pkg, lint.Analyzers())
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if !writeVetx() {
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selfID returns a content hash of the running executable, so vet's result
+// cache is invalidated whenever gatherlint is rebuilt.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

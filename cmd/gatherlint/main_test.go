@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// gatherlintBin builds the gatherlint binary once per test run and returns
+// its path.
+func gatherlintBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "gatherlint-test")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "gatherlint")
+		cmd := exec.Command("go", "build", "-o", buildBin, ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			buildBin = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building gatherlint: %v\n%s", buildErr, buildBin)
+	}
+	return buildBin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// violationModule writes a throwaway module whose internal/sim package
+// breaks the detmaprange and nondetsource invariants.
+func violationModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "sim"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module example.com/gatherlintfixture\n\ngo 1.22\n",
+		filepath.Join("internal", "sim", "sim.go"): `// Package sim is a throwaway fixture exercising gatherlint.
+package sim
+
+import "time"
+
+// Sum folds a map in iteration order.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runIn(t *testing.T, dir, bin string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s: %v", bin, err)
+	}
+	return outBuf.String(), errBuf.String(), exit
+}
+
+// The repository itself must be gatherlint-clean: the analyzers encode the
+// determinism contract the codebase claims to honor.
+func TestStandaloneRunsCleanOnRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	bin := gatherlintBin(t)
+	stdout, stderr, exit := runIn(t, moduleRoot(t), bin, "./...")
+	if exit != 0 {
+		t.Fatalf("gatherlint ./... exited %d\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Fatalf("unexpected findings:\n%s", stdout)
+	}
+}
+
+func TestStandaloneFlagsViolations(t *testing.T) {
+	bin := gatherlintBin(t)
+	dir := violationModule(t)
+	stdout, stderr, exit := runIn(t, dir, bin, "./...")
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	for _, want := range []string{"[detmaprange]", "[nondetsource]", "sim.go"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// The -V/-flags handshake is what lets `go vet -vettool=` drive gatherlint.
+func TestVetHandshake(t *testing.T) {
+	bin := gatherlintBin(t)
+	stdout, _, exit := runIn(t, t.TempDir(), bin, "-V=full")
+	if exit != 0 || !strings.HasPrefix(stdout, "gatherlint version ") || !strings.Contains(stdout, "buildID=") {
+		t.Fatalf("-V=full: exit %d, output %q", exit, stdout)
+	}
+	stdout, _, exit = runIn(t, t.TempDir(), bin, "-flags")
+	if exit != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("-flags: exit %d, output %q", exit, stdout)
+	}
+}
+
+// End-to-end through the real driver: `go vet -vettool=` must surface the
+// same findings and fail the build.
+func TestGoVetVettool(t *testing.T) {
+	bin := gatherlintBin(t)
+	dir := violationModule(t)
+	stdout, stderr, exit := runIn(t, dir, "go", "vet", "-vettool="+bin, "./...")
+	if exit == 0 {
+		t.Fatalf("go vet -vettool exited 0 on a module with violations\nstdout:\n%s\nstderr:\n%s", stdout, stderr)
+	}
+	for _, want := range []string{"[detmaprange]", "[nondetsource]"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("vet stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}

@@ -1,3 +1,10 @@
 module github.com/fatgather/fatgather
 
 go 1.22
+
+// The module deliberately has zero external dependencies so it builds
+// hermetically. gatherlint (internal/lint) is written against the
+// golang.org/x/tools/go/analysis API shape but ships a minimal stdlib-only
+// stand-in (internal/lint/analysis); when taking a dependency becomes
+// acceptable, pin golang.org/x/tools here and port per the notes in
+// internal/lint/analysis/doc.go.

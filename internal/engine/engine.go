@@ -328,13 +328,15 @@ func Run(cells []Cell, opts Options) []CellResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				//gatherlint:ignore nondetsource Elapsed is wall-clock telemetry; it never feeds a cell key, pinned table or stored result identity
 				start := time.Now()
 				res, err := cells[i].runWith(gen)
 				results[i] = CellResult{
-					Index:   i,
-					Cell:    cells[i],
-					Result:  res,
-					Err:     err,
+					Index:  i,
+					Cell:   cells[i],
+					Result: res,
+					Err:    err,
+					//gatherlint:ignore nondetsource wall-clock telemetry only (see start above)
 					Elapsed: time.Since(start),
 				}
 				done <- i

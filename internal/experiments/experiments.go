@@ -483,8 +483,10 @@ func E4StateCoverage(cfg Config) Table {
 			continue
 		}
 		res := runOnce(w, sched.NewRandomAsync(7), cfg.MaxEvents/10, nil)
-		for s, c := range res.StateVisits {
-			visited[s] += c
+		// Fold in declaration order, not map order (gatherlint detmaprange);
+		// the sums commute, but the discipline is uniform.
+		for _, s := range core.AllAlgStates() {
+			visited[s] += res.StateVisits[s]
 		}
 	}
 	t := Table{

@@ -22,12 +22,7 @@ func ConvexHull(pts []Vec) []Vec {
 		copy(out, uniq)
 		return out
 	}
-	sort.Slice(uniq, func(i, j int) bool {
-		if uniq[i].X != uniq[j].X {
-			return uniq[i].X < uniq[j].X
-		}
-		return uniq[i].Y < uniq[j].Y
-	})
+	sort.Slice(uniq, func(i, j int) bool { return lexLess(uniq[i], uniq[j]) })
 
 	hull := make([]Vec, 0, 2*n)
 	// Lower hull.
@@ -47,6 +42,18 @@ func ConvexHull(pts []Vec) []Vec {
 		hull = append(hull, p)
 	}
 	return hull[:len(hull)-1]
+}
+
+// lexLess is the strict lexicographic order on points (lowest x, then lowest
+// y) that canonicalizes hull input. It must compare exactly — it is on
+// gatherlint's floateq allowlist — because a tolerance-based comparison is
+// not a strict weak ordering and would make the sort (and therefore the hull
+// walk) input-order dependent.
+func lexLess(a, b Vec) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
 }
 
 // ConvexHullWithCollinear computes the convex hull and returns every input

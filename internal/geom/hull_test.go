@@ -218,3 +218,47 @@ func TestHullIdempotenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// lexLess must stay an exact (tolerance-free) strict weak ordering: it
+// canonicalizes hull input, and a fuzzy comparison would make the sort — and
+// therefore the hull walk — input-order dependent. Sub-Eps coordinate
+// differences must still order points deterministically.
+func TestLexLessIsExactStrictWeakOrder(t *testing.T) {
+	a := V(1.0, 0)
+	b := V(1.0+Eps/8, 0) // closer than Eps: a fuzzy compare would tie these
+	if !lexLess(a, b) || lexLess(b, a) {
+		t.Fatalf("sub-Eps x difference must still order exactly: lexLess(a,b)=%v lexLess(b,a)=%v", lexLess(a, b), lexLess(b, a))
+	}
+	c := V(1.0, 2.0)
+	d := V(1.0, 2.0+Eps/8)
+	if !lexLess(c, d) || lexLess(d, c) {
+		t.Fatalf("sub-Eps y difference must still order exactly")
+	}
+	if lexLess(a, a) {
+		t.Fatalf("lexLess must be irreflexive")
+	}
+}
+
+// ConvexHull output must not depend on the input permutation. This pins the
+// sort.Slice(..., lexLess) canonicalization that replaced the inline
+// comparator.
+func TestConvexHullPermutationInvariant(t *testing.T) {
+	pts := []Vec{V(0, 0), V(4, 0), V(4, 4), V(0, 4), V(2, 2), V(1, 3), V(3, 1)}
+	want := ConvexHull(pts)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := make([]Vec, len(pts))
+		for i, j := range rng.Perm(len(pts)) {
+			perm[i] = pts[j]
+		}
+		got := ConvexHull(perm)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: hull size %d != %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: hull[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

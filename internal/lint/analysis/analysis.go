@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, a doc string explaining the
+// invariant it enforces, and a Run function applied to one type-checked
+// package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //gatherlint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by gatherlint's help.
+	// The first line is the summary.
+	Doc string
+	// Run applies the check to a package, reporting findings through
+	// Pass.Report/Reportf. It returns an error only for internal failures
+	// (a finding is never an error).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run invocation.
+// The fields mirror the subset of golang.org/x/tools/go/analysis.Pass that
+// the gatherlint suite needs.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,12 @@
+// Package analysis is a minimal, dependency-free stand-in for the
+// golang.org/x/tools/go/analysis framework: an Analyzer couples a named
+// invariant with a Run function over one type-checked package (a Pass), and
+// findings are reported as Diagnostics.
+//
+// The repository builds fully offline, so the real x/tools module cannot be
+// pinned in go.mod; this package mirrors the subset of its API that the
+// gatherlint suite uses (Analyzer, Pass, Diagnostic, Reportf) with the same
+// field names and semantics. If the x/tools dependency ever becomes
+// available, porting the suite is mechanical: swap the import path and
+// change each Run's return type from error to (interface{}, error).
+package analysis

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fatgather/fatgather/internal/lint/analysis"
+)
+
+// DetMapRange flags `range` over a map in determinism-contract packages.
+//
+// Go map iteration order is deliberately randomized, so any map range whose
+// body's effect depends on visit order (appending to a slice, writing output,
+// picking a "first" element) silently breaks byte-identical results. The
+// analyzer accepts the one blessed idiom — harvest the keys and sort before
+// using them — by exempting a map range whose enclosing function sorts after
+// the loop (sort.Strings/Ints/Slice/..., slices.Sort*), the pattern used by
+// Store.Keys and Crash.CrashedIDs. Anything else must either iterate a sorted
+// key slice instead or carry a //gatherlint:ignore detmaprange directive with
+// a reason (e.g. a commutative accumulation).
+var DetMapRange = &analysis.Analyzer{
+	Name: "detmaprange",
+	Doc:  "flag map iteration in determinism-contract packages unless keys are collected and sorted",
+	Run:  runDetMapRange,
+}
+
+// sortNeutralizers are the sort entry points that bless a preceding
+// key-harvest loop.
+var sortNeutralizers = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Strings": true, "Ints": true,
+		"Float64s": true, "Slice": true, "SliceStable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runDetMapRange(pass *analysis.Pass) error {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sortedAfter(pass, file, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map: iteration order is randomized; collect and sort the keys first (or //gatherlint:ignore detmaprange <reason>)")
+			return true
+		})
+	}
+	return nil
+}
+
+// sortedAfter reports whether the innermost function containing the range
+// statement calls a sort function after the loop — the collect-then-sort
+// idiom that neutralizes map iteration order.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) bool {
+	body := innermostFuncBody(file, rng.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if names, ok := sortNeutralizers[fn.Pkg().Path()]; ok && names[fn.Name()] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

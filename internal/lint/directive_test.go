@@ -1,0 +1,112 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/lint"
+	"github.com/fatgather/fatgather/internal/lint/analysis"
+)
+
+// applyToSource type-checks one synthetic file as the package importPath and
+// runs the analyzers over it.
+func applyToSource(t *testing.T, importPath, src string, analyzers []*analysis.Analyzer) []lint.Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	files, err := lint.ParseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Export data is resolved from this test's directory (any module dir
+	// works for stdlib imports); the temp dir itself is outside the module.
+	exports, err := lint.ExportData(".", []string{"sort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.CheckFixture(fset, importPath, dir, files, exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Apply(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// A reasonless directive must not suppress the underlying finding, and must
+// itself be reported: exemptions without justification are not exemptions.
+func TestReasonlessDirectiveDoesNotSuppress(t *testing.T) {
+	src := `package sim
+
+func count(m map[string]int) int {
+	n := 0
+	//gatherlint:ignore detmaprange
+	for range m {
+		n++
+	}
+	return n
+}
+`
+	findings := applyToSource(t, "tmp/internal/sim", src, []*analysis.Analyzer{lint.DetMapRange})
+	var gotRange, gotDirective bool
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "detmaprange" && strings.Contains(f.Message, "range over map"):
+			gotRange = true
+		case f.Analyzer == "directive" && strings.Contains(f.Message, "reason"):
+			gotDirective = true
+		}
+	}
+	if !gotRange {
+		t.Errorf("reasonless directive suppressed the finding; got %v", findings)
+	}
+	if !gotDirective {
+		t.Errorf("missing malformed-directive finding; got %v", findings)
+	}
+}
+
+// A directive naming a different analyzer leaves the finding alone.
+func TestDirectiveIsPerAnalyzer(t *testing.T) {
+	src := `package sim
+
+func count(m map[string]int) int {
+	n := 0
+	//gatherlint:ignore floateq wrong analyzer on purpose
+	for range m {
+		n++
+	}
+	return n
+}
+`
+	findings := applyToSource(t, "tmp/internal/sim", src, []*analysis.Analyzer{lint.DetMapRange})
+	if len(findings) != 1 || findings[0].Analyzer != "detmaprange" {
+		t.Errorf("want exactly the detmaprange finding, got %v", findings)
+	}
+}
+
+// "all" exempts every analyzer on the line.
+func TestDirectiveAll(t *testing.T) {
+	src := `package sim
+
+func count(m map[string]int) int {
+	n := 0
+	//gatherlint:ignore all fixture exercising the catch-all
+	for range m {
+		n++
+	}
+	return n
+}
+`
+	findings := applyToSource(t, "tmp/internal/sim", src, []*analysis.Analyzer{lint.DetMapRange})
+	if len(findings) != 0 {
+		t.Errorf("want no findings, got %v", findings)
+	}
+}

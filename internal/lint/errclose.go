@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fatgather/fatgather/internal/lint/analysis"
+)
+
+// ErrClose flags discarded errors from Close/Sync on files (and on the sweep
+// Store, which owns one) in the sweep package.
+//
+// The store and lease layers are write paths whose durability the resume
+// protocol depends on: a swallowed Close error after appending records means
+// a worker can report a cell checkpointed that never reached disk, and the
+// next resume silently re-runs (or a peer silently trusts) a torn store. A
+// bare `f.Close()` statement or `defer f.Close()` discards that error;
+// capture it, or — on read-only paths where the error provably cannot lose
+// data — acknowledge the discard explicitly with `_ = f.Close()` or a
+// //gatherlint:ignore errclose directive naming the reason.
+var ErrClose = &analysis.Analyzer{
+	Name: "errclose",
+	Doc:  "flag discarded Close/Sync errors on files and stores in internal/sweep",
+	Run:  runErrClose,
+}
+
+// errClosePackages are the import-path suffixes ErrClose applies to.
+var errClosePackages = []string{"internal/sweep"}
+
+func runErrClose(pass *analysis.Pass) error {
+	if !pkgMatchesAny(pass.Pkg.Path(), errClosePackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+				kind = "discarded"
+			case *ast.DeferStmt:
+				call = stmt.Call
+				kind = "deferred and discarded"
+			case *ast.GoStmt:
+				call = stmt.Call
+				kind = "discarded"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") || len(call.Args) != 0 {
+				return true
+			}
+			recv := pass.TypesInfo.Types[sel.X].Type
+			if recv == nil || (!isOSFile(recv) && !isSweepStore(recv)) {
+				return true
+			}
+			// Only flag calls that actually return an error to discard.
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Results().Len() == 0 {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"%s error from %s on a store/lease write path; capture it (or `_ = x.%s()` / //gatherlint:ignore errclose <reason> on read-only paths)", kind, sel.Sel.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSweepStore reports whether t is the sweep package's Store type (or a
+// pointer to it) — closing a written Store discards the same fsync/close
+// error class as closing its underlying file.
+func isSweepStore(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && pkgMatchesAny(obj.Pkg().Path(), errClosePackages) && obj.Name() == "Store"
+}

@@ -1,0 +1,11 @@
+// Package linttest runs gatherlint analyzers over fixture packages and
+// checks their findings against inline `// want "regexp"` comments — a
+// dependency-free analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under internal/lint/testdata/src; each fixture package's
+// path below that root is also its import path, so a fixture at
+// testdata/src/detmaprange/internal/sim exercises exactly the package-suffix
+// matching a real internal/sim package would get. Expectations attach to the
+// line carrying the comment, and every expectation must be matched by a
+// finding (and vice versa) for the test to pass.
+package linttest

@@ -1,0 +1,147 @@
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/lint"
+	"github.com/fatgather/fatgather/internal/lint/analysis"
+)
+
+// wantRe matches one quoted expectation inside a `// want "..."` comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `// want` entry: a regexp the diagnostic message on that
+// line must match.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package rooted at srcRoot (pkgPaths are
+// slash-separated paths under it, which double as the fixtures' import
+// paths), applies the analyzer, and compares the surviving findings against
+// the fixtures' `// want "regexp"` comments: every finding must be wanted and
+// every want must fire. Directive suppression (//gatherlint:ignore) is active
+// exactly as in a real run, so fixtures can regression-test the escape hatch.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runOne(t, srcRoot, a, pkgPath)
+	}
+}
+
+func runOne(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	fset := token.NewFileSet()
+	files, err := lint.ParseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: fixture package has no Go files", pkgPath)
+	}
+	imports := importsOf(files)
+	exports, err := lint.ExportData(srcRoot, imports)
+	if err != nil {
+		t.Fatalf("%s: export data for %v: %v", pkgPath, imports, err)
+	}
+	pkg, err := lint.CheckFixture(fset, pkgPath, dir, files, exports)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	findings, err := lint.Apply(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	wants := wantsOf(t, fset, files)
+	for _, f := range findings {
+		if f.Analyzer != a.Name {
+			// Directive-misuse findings surface under their own name; a
+			// fixture line carrying a malformed directive wants them too.
+			if !matchWant(wants, f.Pos, f.Message) {
+				t.Errorf("%s: unexpected %s finding: %s", pkgPath, f.Analyzer, f)
+			}
+			continue
+		}
+		if !matchWant(wants, f.Pos, f.Message) {
+			t.Errorf("%s: unexpected finding: %s", pkgPath, f)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: %s: expected a diagnostic matching %q, got none", pkgPath, key, e.re)
+			}
+		}
+	}
+}
+
+// importsOf collects the distinct import paths of the fixture files.
+func importsOf(files []*ast.File) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// wantsOf indexes the `// want` expectations by file:line.
+func wantsOf(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey(pos.Filename, pos.Line)
+				for _, q := range wantRe.FindAllString(c.Text[idx+len("// want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants map[string][]*expectation, pos token.Position, msg string) bool {
+	for _, e := range wants[lineKey(pos.Filename, pos.Line)] {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

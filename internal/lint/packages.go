@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (fixture packages use their
+	// testdata-relative path).
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset positions Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -deps -export -json` in dir and returns the
+// decoded package stream. The -export flag makes the go command produce
+// (cached) export data for every listed package, which is what lets the
+// type checker resolve imports without re-checking the world from source.
+func goList(dir string, patterns ...string) ([]listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData returns an import-path -> export-data-file map covering the
+// given import paths and their transitive dependencies, by asking the go
+// command to build (or reuse cached) export data. dir anchors the go
+// invocation; any directory inside a module (or GOPATH) works for stdlib
+// paths.
+func ExportData(dir string, imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	pkgs, err := goList(dir, imports...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// exportLookup adapts an import-path -> export-file map to the lookup shape
+// the stdlib gc importer wants.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// CheckFiles type-checks one package's parsed files, resolving imports
+// through the given export-data lookup, and returns the package with a fully
+// populated types.Info. Type errors fail the check: gatherlint only analyzes
+// trees that compile.
+func CheckFiles(fset *token.FileSet, importPath string, files []*ast.File, lookup func(path string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-check %s: %v", importPath, err)
+	}
+	return tpkg, info, nil
+}
+
+// ParseDir parses every non-test .go file of one directory (with comments,
+// which the directive and fixture machinery needs) in file-name order.
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read %s: %v", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || filepath.Ext(n) != ".go" || isTestFile(n) {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", n, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// CheckFixture type-checks an already-parsed fixture package (linttest's
+// loader) against the given export-data map and wraps it as a Package whose
+// Path is the fixture's testdata-relative path.
+func CheckFixture(fset *token.FileSet, importPath, dir string, files []*ast.File, exports map[string]string) (*Package, error) {
+	tpkg, info, err := CheckFiles(fset, importPath, files, exportLookup(exports))
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// Load loads and type-checks the packages matched by the go patterns
+// (e.g. "./..."), anchored at dir. Only non-test sources are analyzed: the
+// determinism contract covers what ships, and tests legitimately use wall
+// clocks, environment variables and unseeded randomness.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := exportLookup(exports)
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, perr := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if perr != nil {
+				return nil, fmt.Errorf("lint: parse %s: %v", name, perr)
+			}
+			files = append(files, f)
+		}
+		tpkg, info, cerr := CheckFiles(fset, p.ImportPath, files, lookup)
+		if cerr != nil {
+			return nil, cerr
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  p.ImportPath,
+			Dir:   p.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

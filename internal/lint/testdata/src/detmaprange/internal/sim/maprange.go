@@ -1,0 +1,66 @@
+// Package sim is a detmaprange fixture: its path ends in internal/sim, so it
+// is treated as a determinism-contract package.
+package sim
+
+import (
+	"slices"
+	"sort"
+)
+
+// bad iterates a map directly; the sum is order-insensitive but the analyzer
+// cannot know that, and the fix (sorted keys or a directive) is cheap.
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// badKeys leaks map order into a slice: the canonical determinism bug.
+func badKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// harvested is the blessed idiom: collect, then sort before use.
+func harvested(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// harvestedSlices blesses the slices.Sort spelling too.
+func harvestedSlices(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// overSlice ranges over a slice: never flagged.
+func overSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// acknowledged documents why the iteration is safe.
+func acknowledged(m map[string]int) int {
+	n := 0
+	//gatherlint:ignore detmaprange pure count, order cannot leak
+	for range m {
+		n++
+	}
+	return n
+}

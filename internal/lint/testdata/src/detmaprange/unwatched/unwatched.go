@@ -1,0 +1,11 @@
+// Package unwatched is a detmaprange fixture outside the determinism
+// contract: nothing here may be flagged.
+package unwatched
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,50 @@
+// Package sweep is an errclose fixture: its path ends in internal/sweep, so
+// discarded Close/Sync errors on files and stores are flagged.
+package sweep
+
+import "os"
+
+// Store mirrors the real sweep.Store shape: it owns a file and its Close
+// returns that file's close error.
+type Store struct{ f *os.File }
+
+// Close forwards the file's close error: capturing the result is fine.
+func (s *Store) Close() error { return s.f.Close() }
+
+func bare(f *os.File) {
+	f.Close() // want "discarded error from Close"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "deferred and discarded error from Close"
+}
+
+func sync(f *os.File) {
+	f.Sync() // want "discarded error from Sync"
+}
+
+func storeDiscard(s *Store) {
+	defer s.Close() // want "deferred and discarded error from Close"
+}
+
+func acknowledged(f *os.File) {
+	_ = f.Close()
+}
+
+func captured(f *os.File) error {
+	return f.Close()
+}
+
+// quiet has an error-free Close: nothing to discard, never flagged.
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func quietUse(q quiet) {
+	q.Close()
+}
+
+func readPath(f *os.File) {
+	//gatherlint:ignore errclose read-only scan, a close error cannot lose data
+	defer f.Close()
+}

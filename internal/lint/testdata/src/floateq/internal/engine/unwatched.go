@@ -1,0 +1,7 @@
+// Package engine is a floateq fixture outside the analyzer's package set
+// (floateq watches geom and sim only): nothing here may be flagged.
+package engine
+
+func rateEq(a, b float64) bool {
+	return a == b
+}

@@ -603,9 +603,14 @@ func (s *Simulator) result(outcome Outcome, err error) Result {
 			terminated++
 		}
 	}
+	// Copy the visit counts by enumerating the (complete, declaration-
+	// ordered) state list rather than ranging over the map, so no map
+	// iteration happens on a result-producing path (gatherlint detmaprange).
 	visits := make(map[core.AlgState]int, len(s.stateVisits))
-	for k, v := range s.stateVisits {
-		visits[k] = v
+	for _, st := range core.AllAlgStates() {
+		if v, ok := s.stateVisits[st]; ok {
+			visits[st] = v
+		}
 	}
 	connected := cfg.Connected()
 	fully := cfg.FullyVisible(s.opts.Vision)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"github.com/fatgather/fatgather/internal/config"
@@ -223,4 +224,39 @@ func (gravityForTest) Name() string { return "test-gravity" }
 
 func (gravityForTest) Decide(view core.View) core.Decision {
 	return core.Decision{Target: geom.Centroid(view.All()), Trace: []core.AlgState{core.StateStart, core.StateNotConnected}}
+}
+
+// Result.StateVisits is copied by enumerating core.AllAlgStates() rather than
+// ranging over the internal map (gatherlint detmaprange). The copy must stay
+// complete — every visited state survives with its exact count — and
+// byte-for-byte reproducible across identical runs.
+func TestStateVisitsCopyIsCompleteAndReproducible(t *testing.T) {
+	run := func() Result {
+		res, err := Run(config.Geometric{v(0, 0), v(6, 2), v(-3, 5)}, Options{
+			Adversary: sched.Registry(41)["random-async"](),
+			MaxEvents: 50000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.StateVisits) == 0 {
+		t.Fatal("StateVisits is empty after a multi-robot run")
+	}
+	total := 0
+	for _, st := range core.AllAlgStates() {
+		total += a.StateVisits[st]
+	}
+	sum := 0
+	for _, n := range a.StateVisits {
+		sum += n
+	}
+	if total != sum {
+		t.Fatalf("copy dropped visits: AllAlgStates sum %d != map sum %d", total, sum)
+	}
+	if !reflect.DeepEqual(a.StateVisits, b.StateVisits) {
+		t.Fatalf("StateVisits not reproducible:\n  a=%v\n  b=%v", a.StateVisits, b.StateVisits)
+	}
 }

@@ -127,6 +127,7 @@ func (p *adaptivePublisher) publish(st adaptiveState) error {
 		return fmt.Errorf("sweep: create adaptive dir: %w", err)
 	}
 	st.Owner = p.owner
+	//gatherlint:ignore nondetsource Updated is observability metadata on an accelerator record; results never read it
 	st.Updated = time.Now().UnixNano()
 	path := p.pathFor(st.Group)
 	tmp := fmt.Sprintf("%s.pub.%016x", path, shardHash(p.owner))

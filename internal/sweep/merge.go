@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/fatgather/fatgather/internal/engine"
 )
@@ -33,16 +34,18 @@ type MergeStats struct {
 // sources are skipped (first copy wins; duplicates are bit-identical by the
 // determinism contract). The destination is created if missing and may
 // already hold records: merging is idempotent.
-func MergeDirs(dst string, srcs []string, warnf func(format string, args ...any)) (MergeStats, error) {
-	var stats MergeStats
+func MergeDirs(dst string, srcs []string, warnf func(format string, args ...any)) (stats MergeStats, err error) {
 	if warnf == nil {
 		warnf = func(string, ...any) {}
 	}
-	out, err := Open(dst)
-	if err != nil {
-		return stats, fmt.Errorf("sweep: merge destination: %w", err)
+	out, oerr := Open(dst)
+	if oerr != nil {
+		return stats, fmt.Errorf("sweep: merge destination: %w", oerr)
 	}
-	defer out.Close()
+	// The destination is a written store: a swallowed close error would
+	// report a merge complete whose records never durably reached disk
+	// (gatherlint errclose).
+	defer closeKeeping(&err, out, "sweep: close merge destination")
 	for _, w := range out.Warnings() {
 		warnf("%s", w)
 	}
@@ -71,4 +74,13 @@ func MergeDirs(dst string, srcs []string, warnf func(format string, args ...any)
 		}
 	}
 	return stats, nil
+}
+
+// closeKeeping closes c and, when no earlier error is pending, promotes the
+// close error into *err. Write paths use it so durability failures surface
+// instead of vanishing in a deferred Close.
+func closeKeeping(err *error, c io.Closer, what string) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = fmt.Errorf("%s: %w", what, cerr)
+	}
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -185,5 +186,34 @@ func TestStoreKeysSortedAndComplete(t *testing.T) {
 		if _, ok := st.Lookup(c.Key()); !ok {
 			t.Fatalf("key %q missing", c.Key())
 		}
+	}
+}
+
+// errCloser fails its Close with a fixed error.
+type errCloser struct{ err error }
+
+func (c errCloser) Close() error { return c.err }
+
+// closeKeeping is the errclose fix behind MergeDirs: a destination-store
+// close error must surface to the caller instead of vanishing in a deferred
+// Close, and it must never mask an earlier error.
+func TestCloseKeepingPromotesCloseError(t *testing.T) {
+	var err error
+	closeKeeping(&err, errCloser{err: errors.New("boom")}, "close dst")
+	if err == nil || !strings.Contains(err.Error(), "close dst") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("close error not promoted: %v", err)
+	}
+
+	prior := errors.New("earlier failure")
+	err = prior
+	closeKeeping(&err, errCloser{err: errors.New("boom")}, "close dst")
+	if err != prior {
+		t.Fatalf("earlier error was masked: %v", err)
+	}
+
+	err = nil
+	closeKeeping(&err, errCloser{}, "close dst")
+	if err != nil {
+		t.Fatalf("clean close produced an error: %v", err)
 	}
 }

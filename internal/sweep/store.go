@@ -304,6 +304,7 @@ func (s *Store) Reload() (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("sweep: reload store: %w", err)
 	}
+	//gatherlint:ignore errclose read-only scan handle; a close error cannot un-persist records
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {

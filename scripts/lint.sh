@@ -1,0 +1,47 @@
+#!/bin/sh
+# lint.sh is the single reproducible lint entry point: everything the CI lint
+# job runs, runnable locally with no arguments. It gates on
+#   - gofmt            (formatting, fixtures included)
+#   - go vet           (the stock analyzers)
+#   - package comments (scripts/check-package-comments.sh)
+#   - gatherlint       (the repo's determinism-contract analyzers, standalone)
+#   - staticcheck      (when installed; skipped with a notice otherwise)
+#   - govulncheck      (when installed; skipped with a notice otherwise)
+# staticcheck and govulncheck are optional because the pinned toolchain image
+# used for hermetic runs has no network to install them; CI installs both, so
+# they always run there.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== package comments"
+./scripts/check-package-comments.sh
+
+echo "== gatherlint"
+go run ./cmd/gatherlint ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck"
+	staticcheck ./...
+else
+	echo "== staticcheck: not installed, skipping (CI runs it)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck"
+	govulncheck ./...
+else
+	echo "== govulncheck: not installed, skipping (CI runs it)"
+fi
+
+echo "lint: all gates passed"
