@@ -5,14 +5,29 @@ package fatgather
 // call the same drivers as cmd/gatherbench with a reduced budget so that
 // `go test -bench=.` stays tractable; run cmd/gatherbench for the full-size
 // tables.
+//
+// Hot-path microbenchmarks live next to their packages — BenchmarkConvexHull
+// in internal/geom, BenchmarkVisibilityPair and the FullyVisible grid/flat
+// sweeps in internal/vision — so they evolve with the code they measure; this
+// file keeps only the end-to-end experiment drivers.
+//
+// To capture CPU and allocation profiles of the hot path (the basis of the
+// before/after numbers recorded in ARCHITECTURE.md), profile the sequential
+// engine benchmark:
+//
+//	go test -run XXX -bench 'BenchmarkE5EngineWorkers/sequential' -benchtime 1x \
+//	    -cpuprofile cpu.prof -memprofile mem.prof ./internal/experiments/
+//	go tool pprof -top cpu.prof
+//	go tool pprof -top -sample_index=alloc_objects mem.prof
+//
+// scripts/bench-snapshot.sh records the ns/op + allocs/op fingerprint of every
+// benchmark into BENCH_<rev>.json, and scripts/bench-compare.sh diffs the
+// current tree against the latest committed snapshot (the CI regression gate).
 
 import (
 	"testing"
 
 	"github.com/fatgather/fatgather/internal/experiments"
-	"github.com/fatgather/fatgather/internal/geom"
-	"github.com/fatgather/fatgather/internal/vision"
-	"github.com/fatgather/fatgather/internal/workload"
 )
 
 // benchCfg is the reduced budget used by the benchmark harness.
@@ -102,17 +117,9 @@ func BenchmarkDeltaSensitivity(b *testing.B) {
 }
 
 func BenchmarkGeometryPrimitives(b *testing.B) {
-	pts := workload.Ring(128, 300)
-	b.Run("convex-hull-128", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = geom.ConvexHull(pts)
-		}
-	})
-	b.Run("visibility-pair-128", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			_ = vision.Default.Visible(pts, 0, 64)
-		}
-	})
+	// The convex-hull and visibility-pair microbenchmarks moved next to their
+	// packages (internal/geom, internal/vision), where they also measure the
+	// scratch-buffer variants; only the end-to-end primitive table remains.
 	b.Run("experiment-table", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = experiments.E12Primitives(benchCfg)

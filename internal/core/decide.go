@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/vision"
 )
 
 // Decision is the output of the local algorithm for one Compute phase.
@@ -42,12 +43,17 @@ func Decide(v View) Decision {
 	return d.run()
 }
 
-// decider carries the per-decision derived data shared by the procedures.
+// decider carries the per-decision derived data shared by the procedures,
+// plus scratch buffers reused across the O(view^2) visibility queries a single
+// decision can issue (viewFullyVisible, selfBlocksPair).
 type decider struct {
 	view View
 	hull *hullInfo
 
 	trace []AlgState
+
+	vsc    vision.Scratch
+	obsBuf []geom.Vec
 }
 
 func (d *decider) run() Decision {

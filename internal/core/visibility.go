@@ -13,10 +13,23 @@ var visionModel = vision.Default
 // viewFullyVisible reports whether, treating the robots in the view as the
 // only robots in the plane, every robot can see every other robot. This is
 // the operative form of the paper's "all robots have full visibility
-// according to Vi" check in Procedure OnConvexHull.
+// according to Vi" check in Procedure OnConvexHull. Small views run the flat
+// pair scan through the decider's reused scratch (identical verdicts and
+// early-exit order to Model.FullyVisible, no per-pair allocation); large views
+// keep the grid-indexed batch path.
 func (d *decider) viewFullyVisible() bool {
 	all := d.hull.all
-	return visionModel.FullyVisible(all)
+	if len(all) >= vision.GridThreshold {
+		return visionModel.FullyVisible(all)
+	}
+	for i := range all {
+		for j := range all {
+			if !visionModel.VisibleScratch(&d.vsc, all, i, j) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // selfBlocksPair reports whether the observing robot occludes some pair of
@@ -38,12 +51,12 @@ func (d *decider) selfBlocksPair() (a, b geom.Vec, blocks bool) {
 			if all[j].EqWithin(self, geom.Eps) {
 				continue
 			}
-			withSelf := obstaclesFor(all, all[i], all[j], geom.Vec{}, false)
-			if visionModel.VisiblePair(all[i], all[j], withSelf) {
+			d.obsBuf = appendObstaclesFor(d.obsBuf[:0], all, all[i], all[j], geom.Vec{}, false)
+			if visionModel.VisiblePairScratch(&d.vsc, all[i], all[j], d.obsBuf) {
 				continue
 			}
-			withoutSelf := obstaclesFor(all, all[i], all[j], self, true)
-			if !visionModel.VisiblePair(all[i], all[j], withoutSelf) {
+			d.obsBuf = appendObstaclesFor(d.obsBuf[:0], all, all[i], all[j], self, true)
+			if !visionModel.VisiblePairScratch(&d.vsc, all[i], all[j], d.obsBuf) {
 				continue // blocked by someone else too; not this robot's job
 			}
 			dist := geom.DistancePointSegment(self, all[i], all[j])
@@ -56,10 +69,9 @@ func (d *decider) selfBlocksPair() (a, b geom.Vec, blocks bool) {
 	return a, b, blocks
 }
 
-// obstaclesFor returns the view points other than p and q, optionally also
-// excluding the point `skip` (when exclude is true).
-func obstaclesFor(all []geom.Vec, p, q, skip geom.Vec, exclude bool) []geom.Vec {
-	out := make([]geom.Vec, 0, len(all))
+// appendObstaclesFor appends to dst the view points other than p and q,
+// optionally also excluding the point `skip` (when exclude is true).
+func appendObstaclesFor(dst, all []geom.Vec, p, q, skip geom.Vec, exclude bool) []geom.Vec {
 	for _, c := range all {
 		if c.EqWithin(p, geom.Eps) || c.EqWithin(q, geom.Eps) {
 			continue
@@ -67,7 +79,7 @@ func obstaclesFor(all []geom.Vec, p, q, skip geom.Vec, exclude bool) []geom.Vec 
 		if exclude && c.EqWithin(skip, geom.Eps) {
 			continue
 		}
-		out = append(out, c)
+		dst = append(dst, c)
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,33 @@
+package geom_test
+
+import (
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// The hull microbenchmarks live next to the package they measure (they used
+// to hide under BenchmarkGeometryPrimitives in the repo root, where -bench
+// filtering and pprof attribution were awkward). Sub-benchmark names use the
+// "n=128" form: scripts/bench-snapshot.sh strips a trailing "-<digits>"
+// GOMAXPROCS suffix from benchmark names, which would also eat a bare "-128".
+
+func BenchmarkConvexHull(b *testing.B) {
+	pts := workload.Ring(128, 300)
+	b.Run("fresh/n=128", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = geom.ConvexHull(pts)
+		}
+	})
+	b.Run("scratch/n=128", func(b *testing.B) {
+		b.ReportAllocs()
+		var sc geom.HullScratch
+		sc.ConvexHull(pts)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sc.ConvexHull(pts)
+		}
+	})
+}

@@ -191,15 +191,23 @@ func CircleCircleIntersections(c1, c2 Circle) []Vec {
 // For equal radii the outer tangents are simply the two translates of the
 // center segment by +-r along the perpendicular direction.
 func OuterTangentSegments(a, b Vec, r float64) []Segment {
+	return AppendOuterTangentSegments(nil, a, b, r)
+}
+
+// AppendOuterTangentSegments appends the two outer common tangent segments
+// (see OuterTangentSegments) to dst and returns the extended slice, appending
+// nothing for coincident centers. It exists so hot paths can reuse a segment
+// buffer instead of allocating one per pair query.
+func AppendOuterTangentSegments(dst []Segment, a, b Vec, r float64) []Segment {
 	d := b.Sub(a)
 	if d.Norm() < Eps {
-		return nil
+		return dst
 	}
 	n := d.Unit().Perp().Scale(r)
-	return []Segment{
-		{A: a.Add(n), B: b.Add(n)},
-		{A: a.Sub(n), B: b.Sub(n)},
-	}
+	return append(dst,
+		Segment{A: a.Add(n), B: b.Add(n)},
+		Segment{A: a.Sub(n), B: b.Sub(n)},
+	)
 }
 
 // InnerTangentSegments returns the inner common tangent segments between two

@@ -244,18 +244,24 @@ func distanceToPolygon(p Vec, poly []Vec) float64 {
 // dedupPoints returns the input points with (near-)duplicates removed,
 // preserving first occurrence order.
 func dedupPoints(pts []Vec) []Vec {
-	out := make([]Vec, 0, len(pts))
+	return appendDedupPoints(make([]Vec, 0, len(pts)), pts)
+}
+
+// appendDedupPoints appends the deduplicated points to dst (which must not
+// overlap pts) and returns the extended slice. dst is scanned in full for
+// duplicates, so pass a freshly truncated buffer.
+func appendDedupPoints(dst []Vec, pts []Vec) []Vec {
 	for _, p := range pts {
 		dup := false
-		for _, q := range out {
+		for _, q := range dst {
 			if q.EqWithin(p, Eps) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
 }

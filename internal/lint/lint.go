@@ -20,6 +20,7 @@ var deterministicPackages = []string{
 	"internal/engine",
 	"internal/sweep",
 	"internal/geom",
+	"internal/geom/incr",
 	"internal/adversary",
 	"internal/metrics",
 	"internal/experiments",

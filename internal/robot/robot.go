@@ -91,7 +91,9 @@ func (r *Robot) BeginLook(view []geom.Vec) error {
 		return fmt.Errorf("robot %d: Look event in state %v", r.ID, r.State)
 	}
 	r.State = Look
-	r.View = append([]geom.Vec(nil), view...)
+	// Copy into the robot's own (reused) buffer: the caller may recycle view,
+	// and the snapshot must stay stable until the cycle's Move completes.
+	r.View = append(r.View[:0], view...)
 	return nil
 }
 
@@ -178,9 +180,10 @@ func (r *Robot) AtTarget(tol float64) bool {
 	return r.State == Move && r.Center.Dist(r.Target) <= tol
 }
 
-// forget erases the transient per-cycle memory (obliviousness).
+// forget erases the transient per-cycle memory (obliviousness). The View
+// backing array is truncated, not released, so the next Look reuses it.
 func (r *Robot) forget() {
-	r.View = nil
+	r.View = r.View[:0]
 	r.Start = geom.Vec{}
 	r.Target = geom.Vec{}
 }

@@ -69,7 +69,7 @@ func TestLifecycleHappyPath(t *testing.T) {
 	if !r.Idle() {
 		t.Fatal("should be back in Wait")
 	}
-	if r.View != nil {
+	if len(r.View) != 0 {
 		t.Fatal("view should be forgotten (obliviousness)")
 	}
 	if r.Cycles != 1 {

@@ -9,6 +9,7 @@ import (
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/core"
 	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/geom/incr"
 	"github.com/fatgather/fatgather/internal/robot"
 	"github.com/fatgather/fatgather/internal/sched"
 	"github.com/fatgather/fatgather/internal/trace"
@@ -242,6 +243,12 @@ type Simulator struct {
 	robots []*robot.Robot
 	n      int
 
+	// geo is the incremental geometry cache (hull, connectivity, pairwise
+	// visibility). Exactly one robot moves per event — only in eventAdvance —
+	// so every position change is reported through geo.Move and the cached
+	// predicates stay bit-identical to the from-scratch oracles on Config().
+	geo *incr.Cache
+
 	events      int
 	collisions  int
 	stops       int
@@ -257,6 +264,14 @@ type Simulator struct {
 	envStates  []robot.State
 	envCenters []geom.Vec
 	envTargets []geom.Vec
+
+	// Reused per-event buffers. candBuf backs activeCandidates (strategies
+	// copy what they keep); viewBuf backs the Look snapshot handed to
+	// PerturbView/BeginLook, both of which copy; othersBuf backs the
+	// self-filtered view handed to core.NewView, which copies.
+	candBuf   []int
+	viewBuf   []geom.Vec
+	othersBuf []geom.Vec
 
 	// Livelock detection state (livelock.go). progressed is set by any event
 	// that advances a robot or terminates one; zeroStreak counts consecutive
@@ -291,6 +306,7 @@ func New(initial config.Geometric, opts Options) (*Simulator, error) {
 		opts:        o,
 		robots:      robots,
 		n:           len(initial),
+		geo:         incr.New(o.Vision, initial),
 		stateVisits: make(map[core.AlgState]int),
 		milestones: Milestones{
 			AllOnHull: -1, FullyVisible: -1, SafeConfig: -1,
@@ -434,13 +450,13 @@ func (s *Simulator) Step() error {
 }
 
 func (s *Simulator) activeCandidates() []int {
-	out := make([]int, 0, s.n)
+	s.candBuf = s.candBuf[:0]
 	for i, r := range s.robots {
 		if !r.Terminated() {
-			out = append(out, i)
+			s.candBuf = append(s.candBuf, i)
 		}
 	}
-	return out
+	return s.candBuf
 }
 
 // eventLook implements the Look event: the robot snapshots the centers it can
@@ -448,8 +464,8 @@ func (s *Simulator) activeCandidates() []int {
 // snapshot — but never the robot's self-observation or the physical
 // configuration.
 func (s *Simulator) eventLook(r *robot.Robot) error {
-	centers := s.Config()
-	view := s.opts.Vision.ViewCenters(centers, r.ID)
+	s.viewBuf = s.geo.AppendViewCenters(s.viewBuf[:0], r.ID)
+	view := s.viewBuf
 	if p, ok := s.opts.Strategy.(adversary.Perturber); ok {
 		view = p.PerturbView(r.ID, r.Center, view)
 	}
@@ -460,13 +476,13 @@ func (s *Simulator) eventLook(r *robot.Robot) error {
 // algorithm on the robot's snapshot and either terminate or start moving.
 func (s *Simulator) eventComputeOutcome(r *robot.Robot) error {
 	self := r.Center
-	others := make([]geom.Vec, 0, len(r.View))
+	s.othersBuf = s.othersBuf[:0]
 	for _, c := range r.View {
 		if !c.EqWithin(self, geom.Eps) {
-			others = append(others, c)
+			s.othersBuf = append(s.othersBuf, c)
 		}
 	}
-	decision := s.opts.Algorithm.Decide(core.NewView(self, others, s.n))
+	decision := s.opts.Algorithm.Decide(core.NewView(self, s.othersBuf, s.n))
 	s.stateVisits[decision.Final()]++
 	if decision.Terminate {
 		if s.milestones.FirstTerminate < 0 {
@@ -515,7 +531,9 @@ func (s *Simulator) eventAdvance(r *robot.Robot, env adversary.Env) error {
 	r.Advance(free)
 	if free > 0 {
 		// Cumulative distance advanced: any positive step changes the
-		// configuration, so the zero-progress streak resets.
+		// configuration, so the zero-progress streak resets — and this is the
+		// single place a position changes, so the geometry cache updates here.
+		s.geo.Move(r.ID, r.Center)
 		s.progressed = true
 	}
 
@@ -564,12 +582,14 @@ func (s *Simulator) freeDistance(r *robot.Robot, want float64) (float64, int) {
 	return best, blocker
 }
 
-// observe updates milestone bookkeeping and optional snapshot series.
+// observe updates milestone bookkeeping and optional snapshot series. All
+// predicates come from the incremental cache; each equals (bit-identically)
+// the config.Geometric oracle it replaced, so milestone indices and the
+// persisted snapshot series are unchanged.
 func (s *Simulator) observe() {
-	cfg := s.Config()
-	allOnHull := cfg.AllOnHull()
-	fully := cfg.FullyVisible(s.opts.Vision)
-	connected := cfg.Connected()
+	allOnHull := s.geo.AllOnHull()
+	fully := s.geo.FullyVisible()
+	connected := s.geo.Connected()
 	if allOnHull && s.milestones.AllOnHull < 0 {
 		s.milestones.AllOnHull = s.events
 	}
@@ -586,8 +606,8 @@ func (s *Simulator) observe() {
 		s.milestones.Gathered = s.events
 	}
 	if s.opts.SnapshotEvery > 0 && s.events%s.opts.SnapshotEvery == 0 {
-		s.areaSeries = append(s.areaSeries, cfg.HullArea())
-		s.spreadSeries = append(s.spreadSeries, cfg.Spread())
+		s.areaSeries = append(s.areaSeries, s.geo.HullArea())
+		s.spreadSeries = append(s.spreadSeries, s.geo.Spread())
 	}
 }
 
@@ -612,8 +632,8 @@ func (s *Simulator) result(outcome Outcome, err error) Result {
 			visits[st] = v
 		}
 	}
-	connected := cfg.Connected()
-	fully := cfg.FullyVisible(s.opts.Vision)
+	connected := s.geo.Connected()
+	fully := s.geo.FullyVisible()
 	// Survivor-relative goal: re-evaluate gathering on the sub-configuration
 	// of the robots that did not crash-stop. Without crash faults the subsets
 	// coincide, so the survivor flag is exactly Gathered().

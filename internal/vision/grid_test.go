@@ -1,6 +1,7 @@
 package vision_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -211,7 +212,7 @@ func TestVisibilityCountMatches(t *testing.T) {
 func benchmarkCenters(n int) []geom.Vec { return workload.Ring(n, 0) }
 
 func BenchmarkFullyVisibleGrid(b *testing.B) {
-	for _, n := range []int{32, 64, 128} {
+	for _, n := range []int{16, 32, 64, 128} {
 		centers := benchmarkCenters(n)
 		b.Run(benchName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -222,7 +223,7 @@ func BenchmarkFullyVisibleGrid(b *testing.B) {
 }
 
 func BenchmarkFullyVisibleFlat(b *testing.B) {
-	for _, n := range []int{32, 64, 128} {
+	for _, n := range []int{16, 32, 64, 128} {
 		centers := benchmarkCenters(n)
 		b.Run(benchName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -242,13 +243,4 @@ func BenchmarkFullyVisibleFlat(b *testing.B) {
 	}
 }
 
-func benchName(n int) string {
-	switch n {
-	case 32:
-		return "n=32"
-	case 64:
-		return "n=64"
-	default:
-		return "n=128"
-	}
-}
+func benchName(n int) string { return fmt.Sprintf("n=%d", n) }

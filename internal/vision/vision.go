@@ -61,29 +61,58 @@ func (m *Model) Fingerprint() string {
 // Default is a visibility model with default options (unit discs).
 var Default = New(Options{})
 
+// Radius returns the effective disc radius of the model (geom.UnitRadius for
+// the zero options). Exposed so callers that cache visibility state (see
+// internal/geom/incr) can reason about blocking distances with the same
+// radius the model uses.
+func (m *Model) Radius() float64 { return m.opts.radius() }
+
+// Scratch holds reusable buffers for repeated visibility queries on a hot
+// path. The zero value is ready to use; once the buffer has grown to the
+// candidate-segment count (3 + 2*BoundarySamples), VisibleScratch allocates
+// nothing. A Scratch is not safe for concurrent use.
+type Scratch struct {
+	segs []geom.Segment
+}
+
 // Visible reports whether the robot centered at centers[i] can see the robot
 // centered at centers[j], given that every entry of centers is an opaque
-// closed disc. A robot always sees itself.
+// closed disc. A robot always sees itself. One-shot queries allocate the
+// candidate buffer exactly once; hot paths should hold a Scratch and call
+// VisibleScratch instead.
 func (m *Model) Visible(centers []geom.Vec, i, j int) bool {
 	if i == j {
 		return true
 	}
-	r := m.opts.radius()
-	ci, cj := centers[i], centers[j]
-
-	blockers := make([]geom.Vec, 0, len(centers)-2)
-	for k, c := range centers {
-		if k == i || k == j {
-			continue
-		}
-		blockers = append(blockers, c)
-	}
-	if len(blockers) == 0 {
+	if len(centers) <= 2 {
+		// No third disc exists to block the pair.
 		return true
 	}
+	r := m.opts.radius()
+	for _, seg := range m.candidateSegments(centers[i], centers[j], r) {
+		if !segmentBlockedExcept(seg, centers, i, j, r) {
+			return true
+		}
+	}
+	return false
+}
 
-	for _, seg := range m.candidateSegments(ci, cj, r) {
-		if !segmentBlocked(seg, blockers, r) {
+// VisibleScratch answers exactly Visible(centers, i, j) — same candidates,
+// same blockers, same scan order — but generates the candidate sight lines
+// into the scratch's reused buffer and skips the blockers i and j in place
+// instead of materializing a blocker slice.
+func (m *Model) VisibleScratch(sc *Scratch, centers []geom.Vec, i, j int) bool {
+	if i == j {
+		return true
+	}
+	if len(centers) <= 2 {
+		// No third disc exists to block the pair.
+		return true
+	}
+	r := m.opts.radius()
+	sc.segs = m.appendCandidateSegments(sc.segs[:0], centers[i], centers[j], r)
+	for _, seg := range sc.segs {
+		if !segmentBlockedExcept(seg, centers, i, j, r) {
 			return true
 		}
 	}
@@ -98,6 +127,23 @@ func (m *Model) VisiblePair(a, b geom.Vec, obstacles []geom.Vec) bool {
 		return true
 	}
 	for _, seg := range m.candidateSegments(a, b, r) {
+		if !segmentBlocked(seg, obstacles, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// VisiblePairScratch answers exactly VisiblePair(a, b, obstacles) — same
+// candidates, same blockers, same scan order — but generates the candidate
+// sight lines into the scratch's reused buffer.
+func (m *Model) VisiblePairScratch(sc *Scratch, a, b geom.Vec, obstacles []geom.Vec) bool {
+	if len(obstacles) == 0 {
+		return true
+	}
+	r := m.opts.radius()
+	sc.segs = m.appendCandidateSegments(sc.segs[:0], a, b, r)
+	for _, seg := range sc.segs {
 		if !segmentBlocked(seg, obstacles, r) {
 			return true
 		}
@@ -186,21 +232,36 @@ func (m *Model) VisibilityCount(centers []geom.Vec) int {
 // two outer common tangents, and sampled boundary-to-boundary segments on the
 // halves of each disc facing the other.
 func (m *Model) candidateSegments(a, b geom.Vec, r float64) []geom.Segment {
+	return m.appendCandidateSegments(make([]geom.Segment, 0, 3+m.opts.samples()*2), a, b, r)
+}
+
+// appendCandidateSegments appends the candidate sight lines between the discs
+// at a and b to dst and returns the extended slice. The arithmetic is kept
+// expression-for-expression identical to the historical candidateSegments so
+// every candidate endpoint — and therefore every visibility verdict and every
+// pinned determinism hash downstream — stays bit-identical.
+//
+// Every candidate segment lies within distance r of the center segment
+// [a, b]: each endpoint is on one of the two disc boundaries (distance
+// exactly r from a center, which lies on [a, b]), and the distance to a
+// segment is convex along a line, so the maximum over a candidate is attained
+// at an endpoint. Callers that cache visibility rely on this corridor bound
+// to decide which pairs a moved disc can possibly affect.
+func (m *Model) appendCandidateSegments(dst []geom.Segment, a, b geom.Vec, r float64) []geom.Segment {
 	dir := b.Sub(a)
 	d := dir.Norm()
-	segs := make([]geom.Segment, 0, 3+m.opts.samples()*2)
 	if d <= 2*r+geom.Eps {
 		// Touching or (illegally) overlapping discs: they trivially see each
 		// other through the contact region; a degenerate segment at the
 		// contact point witnesses it.
 		mid := geom.Midpoint(a, b)
-		return []geom.Segment{{A: mid, B: mid}}
+		return append(dst, geom.Segment{A: mid, B: mid})
 	}
 	u := dir.Unit()
 	// Center-line candidate, clipped to the boundaries.
-	segs = append(segs, geom.Segment{A: a.Add(u.Scale(r)), B: b.Sub(u.Scale(r))})
+	dst = append(dst, geom.Segment{A: a.Add(u.Scale(r)), B: b.Sub(u.Scale(r))})
 	// Outer common tangents.
-	segs = append(segs, geom.OuterTangentSegments(a, b, r)...)
+	dst = geom.AppendOuterTangentSegments(dst, a, b, r)
 	// Sampled boundary points on the facing halves.
 	nSamples := m.opts.samples()
 	base := u.Angle()
@@ -209,15 +270,30 @@ func (m *Model) candidateSegments(a, b geom.Vec, r float64) []geom.Segment {
 		off := (float64(s)/float64(nSamples+1) - 0.5) * math.Pi
 		pa := geom.Circle{Center: a, Radius: r}.PointAtAngle(base + off)
 		pb := geom.Circle{Center: b, Radius: r}.PointAtAngle(base + math.Pi - off)
-		segs = append(segs, geom.Segment{A: pa, B: pb})
+		dst = append(dst, geom.Segment{A: pa, B: pb})
 	}
-	return segs
+	return dst
 }
 
 // segmentBlocked reports whether the segment comes within the closed disc of
 // radius r of any blocker.
 func segmentBlocked(seg geom.Segment, blockers []geom.Vec, r float64) bool {
 	for _, c := range blockers {
+		if geom.DistancePointSegment(c, seg.A, seg.B) <= r+BlockTol {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentBlockedExcept is segmentBlocked over centers with the discs i and j
+// skipped in place: identical verdicts to building the blocker slice, scan
+// order preserved, no allocation.
+func segmentBlockedExcept(seg geom.Segment, centers []geom.Vec, i, j int, r float64) bool {
+	for k, c := range centers {
+		if k == i || k == j {
+			continue
+		}
 		if geom.DistancePointSegment(c, seg.A, seg.B) <= r+BlockTol {
 			return true
 		}

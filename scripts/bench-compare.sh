@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# bench-compare.sh — the benchmark-trajectory regression gate: compare a fresh
+# benchmark snapshot against the most recently committed BENCH_<rev>.json and
+# fail on regressions.
+#
+# allocs/op is deterministic (allocation counts do not jitter), so any
+# benchmark whose allocs/op grew by more than BENCH_ALLOCS_THRESHOLD_PCT
+# (default 15) fails the gate. ns/op from the -benchtime 1x smoke is
+# indicative only — CI machines are shared and noisy — so the ns/op gate
+# defaults to BENCH_NS_THRESHOLD_PCT=300: it catches order-of-magnitude
+# slowdowns, not scheduler jitter. Tighten it (e.g. 15) locally on a quiet
+# machine for real performance work. Benchmarks present on only one side
+# (added or retired since the baseline) are reported and skipped.
+#
+# Usage: scripts/bench-compare.sh [new-snapshot.json]
+#   With no argument, scripts/bench-snapshot.sh is run into a temp file first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allocs_pct="${BENCH_ALLOCS_THRESHOLD_PCT:-15}"
+ns_pct="${BENCH_NS_THRESHOLD_PCT:-300}"
+
+# Baseline: the BENCH_*.json most recently touched in git history that still
+# exists in the tree (snapshot files are named by revision, so lexicographic
+# order is meaningless).
+base=""
+while IFS= read -r f; do
+  if [ -n "$f" ] && [ -f "$f" ]; then
+    base="$f"
+    break
+  fi
+done < <(git log --pretty=format: --name-only -- 'BENCH_*.json')
+if [ -z "$base" ]; then
+  echo "bench-compare: no committed BENCH_*.json baseline found" >&2
+  exit 1
+fi
+
+new="${1:-}"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+if [ -z "$new" ]; then
+  new="$tmpdir/new.json"
+  scripts/bench-snapshot.sh "$new" > /dev/null
+fi
+
+# Flatten a snapshot into sorted "key<TAB>ns<TAB>allocs" lines.
+extract() {
+  awk '
+    /"ns_per_op"/ {
+      line = $0
+      key = line; sub(/^[ ]*"/, "", key); sub(/".*/, "", key)
+      ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+      al = line; sub(/.*"allocs_per_op": /, "", al); sub(/[^0-9].*/, "", al)
+      printf "%s\t%s\t%s\n", key, ns, al
+    }
+  ' "$1" | sort
+}
+extract "$base" > "$tmpdir/base.tsv"
+extract "$new" > "$tmpdir/new.tsv"
+
+echo "bench-compare: $(basename "$new") vs $base"
+echo "  thresholds: allocs/op +${allocs_pct}%, ns/op +${ns_pct}%"
+
+comm -13 <(cut -f1 "$tmpdir/base.tsv") <(cut -f1 "$tmpdir/new.tsv") \
+  | sed 's/^/  new (no baseline, skipped): /'
+comm -23 <(cut -f1 "$tmpdir/base.tsv") <(cut -f1 "$tmpdir/new.tsv") \
+  | sed 's/^/  retired (baseline only, skipped): /'
+
+join -t "$(printf '\t')" "$tmpdir/base.tsv" "$tmpdir/new.tsv" \
+  | awk -F '\t' -v allocsPct="$allocs_pct" -v nsPct="$ns_pct" '
+  {
+    key = $1; bns = $2 + 0; bal = $3 + 0; nns = $4 + 0; nal = $5 + 0
+    if (bal > 0 && nal > bal * (1 + allocsPct / 100)) {
+      printf "  FAIL %-60s allocs/op %d -> %d (+%.1f%%)\n", key, bal, nal, (nal / bal - 1) * 100
+      fail = 1
+    } else if (bal > 0 && nal < bal * 0.85) {
+      if (nal > 0) {
+        printf "  ok   %-60s allocs/op %d -> %d (%.1fx better)\n", key, bal, nal, bal / nal
+      } else {
+        printf "  ok   %-60s allocs/op %d -> 0\n", key, bal
+      }
+    }
+    if (bns > 0 && nns > bns * (1 + nsPct / 100)) {
+      printf "  FAIL %-60s ns/op %.0f -> %.0f (+%.1f%%)\n", key, bns, nns, (nns / bns - 1) * 100
+      fail = 1
+    }
+  }
+  END {
+    if (fail) {
+      print "bench-compare: regression beyond threshold (see FAIL lines above)"
+      exit 1
+    }
+    print "bench-compare: no regressions beyond thresholds"
+  }
+'
