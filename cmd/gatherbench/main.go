@@ -64,20 +64,35 @@
 //	gatherbench -only E13 -out sweep/
 //	gatherbench livelocks -out traces/ sweep/
 //	gatherviz -trace traces/livelock-000.json
+//
+// Telemetry: every run feeds the internal/obs registry (event counts, cache
+// hit rates, lease churn, adaptive CI state). The registry is write-only for
+// the simulation stack — telemetry can never feed back into results, so a run
+// with telemetry enabled is byte-identical to one without (a test pins this):
+//
+//	gatherbench -only E5 -telemetry-out telemetry.json   # JSON snapshot at exit
+//	gatherbench -http :9090 &                            # live /metrics, /progress, /debug/pprof/
+//	curl localhost:9090/progress                         # live sharded-sweep view
+//	gatherbench -only E5 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/experiments"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/sweep"
 )
 
@@ -121,6 +136,11 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "static sharding: total number of shards; this process runs only cell groups hashing to its -shard-id (works without a shared -out store, but then tables cover only this shard's cells)")
 	shardID := fs.Int("shard-id", 0, "static sharding: this process's shard index in [0, shards)")
 	steal := fs.Bool("steal", false, "lease-aware work stealing: once this worker's static share is drained, claim unclaimed or expired cell groups outside it instead of idling (requires -shard-owner; results are unchanged, only the work distribution)")
+	telemetryOut := fs.String("telemetry-out", "", "write a JSON snapshot of all telemetry (counters, gauges, histograms) to this file when the suite finishes; advisory only, never part of the sweep store")
+	httpAddr := fs.String("http", "", "serve live telemetry on this address (host:port; :0 picks a free port) for the duration of the run: /metrics (Prometheus text), /progress (sweep JSON), /debug/pprof/")
+	httpLinger := fs.Duration("http-linger", 0, "keep the -http telemetry server alive this long after the suite finishes, so scrapers can collect the final state (requires -http)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file when the suite finishes (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,9 +195,42 @@ func run(args []string, out io.Writer) error {
 	if *trunc < 0 || *trunc >= 1 {
 		return fmt.Errorf("-trunc must be in [0, 1), got %g", *trunc)
 	}
+	if *httpLinger < 0 {
+		return fmt.Errorf("-http-linger must be non-negative, got %v", *httpLinger)
+	}
+	if *httpLinger > 0 && *httpAddr == "" {
+		return fmt.Errorf("-http-linger requires -http (there is no server to keep alive)")
+	}
 	advSpecStr, err := adversarySpecFromFlags(*adv, *crash, *noise, *trunc)
 	if err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *httpAddr != "" {
+		// The telemetry server is read-only over the obs registry: it never
+		// feeds back into the run (one-way contract), so serving while the
+		// sweep executes cannot perturb results.
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		srv := &http.Server{Handler: obs.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		obs.Infof("gatherbench", "telemetry server listening on http://%s (/metrics /progress /debug/pprof/)", ln.Addr())
 	}
 	if *outDir != "" {
 		// Fail before running anything if the sweep directory is unusable.
@@ -199,8 +252,11 @@ func run(args []string, out io.Writer) error {
 		Shards:           *shards,
 		ShardIndex:       *shardID,
 		Steal:            *steal,
+		// All warnings funnel through the serialized obs logger: one writer on
+		// stderr, machine-parseable logfmt lines, no interleaving between the
+		// engine's worker warnings and the sweep layer's.
 		Warnf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "gatherbench: "+format+"\n", args...)
+			obs.Warnf("gatherbench", format, args...)
 		},
 	}
 	// Backstop: the flag checks above should leave no invalid combination,
@@ -240,6 +296,29 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "-- %s: %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Fprintln(out, table.String())
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		runtime.GC() // materialize the live heap before snapshotting it
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	if *telemetryOut != "" {
+		if err := obs.Default.DumpJSON(*telemetryOut); err != nil {
+			return fmt.Errorf("-telemetry-out: %w", err)
+		}
+	}
+	if *httpLinger > 0 {
+		obs.Infof("gatherbench", "suite done; telemetry server lingering for %v", *httpLinger)
+		time.Sleep(*httpLinger)
 	}
 	return nil
 }
@@ -303,7 +382,7 @@ func runMerge(args []string, out io.Writer) error {
 		return fmt.Errorf("merge: no source directories given (usage: gatherbench merge -out merged/ dir1 dir2 ...)")
 	}
 	warnf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "gatherbench: merge: "+format+"\n", args...)
+		obs.Warnf("merge", format, args...)
 	}
 	// Group the sources by store layout: a flat store merges into -out
 	// directly; a per-experiment layout merges subdirectory-wise.
@@ -413,7 +492,7 @@ func runLivelocks(args []string, out io.Writer) error {
 			return fmt.Errorf("livelocks: %w", err)
 		}
 		for _, warn := range st.Warnings() {
-			fmt.Fprintf(os.Stderr, "gatherbench: livelocks: %s\n", warn)
+			obs.Warnf("livelocks", "%s", warn)
 		}
 		for _, key := range st.Keys() {
 			stored, ok := st.Lookup(key)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -548,5 +549,86 @@ func TestRunAdversaryAndFaultFlags(t *testing.T) {
 		if got == outputs["default"] {
 			t.Fatalf("%s: override did not change the E5 table", name)
 		}
+	}
+}
+
+// elapsedNsRe matches the wall-clock elapsed_ns field of a store record, the
+// only byte sequence legitimately differing between two otherwise identical
+// runs.
+var elapsedNsRe = regexp.MustCompile(`"elapsed_ns":\d+`)
+
+// TestTelemetryDoesNotPerturbResults pins the one-way telemetry contract end
+// to end: a run with telemetry fully enabled (-telemetry-out snapshot and a
+// live -http server scraping its own registry) renders byte-identical tables
+// and a byte-identical sweep store — modulo the wall-clock elapsed_ns field —
+// compared to a telemetry-off run of the same cells. E13 at this budget also
+// crosses the livelock-certification path, so the certified-outcome counters
+// are exercised, not just the happy path.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	plainDir, telDir := t.TempDir(), t.TempDir()
+	telFile := filepath.Join(t.TempDir(), "telemetry.json")
+	base := []string{"-only", "E13", "-seeds", "1", "-max-events", "2500"}
+
+	var plain strings.Builder
+	if err := run(append(append([]string{}, base...), "-out", plainDir), &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	var tel strings.Builder
+	telArgs := append(append([]string{}, base...),
+		"-out", telDir, "-telemetry-out", telFile, "-http", "127.0.0.1:0")
+	if err := run(telArgs, &tel); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.String() != tel.String() {
+		t.Fatalf("tables differ under telemetry:\n%s\nvs\n%s", plain.String(), tel.String())
+	}
+
+	normalize := func(path string) string {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("store not written: %v", err)
+		}
+		return elapsedNsRe.ReplaceAllString(string(data), `"elapsed_ns":0`)
+	}
+	a := normalize(filepath.Join(plainDir, "E13", "results.jsonl"))
+	b := normalize(filepath.Join(telDir, "E13", "results.jsonl"))
+	if a != b {
+		t.Fatalf("store bytes differ under telemetry (beyond elapsed_ns)")
+	}
+
+	// The snapshot itself must be a real observation of the run, not an empty
+	// shell: the simulator counts events, and E13 certifies livelocks.
+	snap, err := os.ReadFile(telFile)
+	if err != nil {
+		t.Fatalf("-telemetry-out not written: %v", err)
+	}
+	var decoded struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(snap, &decoded); err != nil {
+		t.Fatalf("telemetry snapshot is not valid JSON: %v", err)
+	}
+	for _, name := range []string{
+		"fatgather_sim_events_total",
+		"fatgather_sweep_cells_executed_total",
+	} {
+		if decoded.Counters[name] == 0 {
+			t.Fatalf("telemetry snapshot counter %s is zero or missing:\n%s", name, snap)
+		}
+	}
+}
+
+// TestTelemetryFlagValidation covers the telemetry flag error paths.
+func TestTelemetryFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-http-linger", "5s"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-http-linger requires -http") {
+		t.Fatalf("lone -http-linger not rejected: %v", err)
+	}
+	if err := run([]string{"-http", "127.0.0.1:0", "-http-linger", "-1s"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-http-linger must be non-negative") {
+		t.Fatalf("negative -http-linger not rejected: %v", err)
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	fatgather "github.com/fatgather/fatgather"
 	"github.com/fatgather/fatgather/internal/sim"
@@ -43,8 +45,38 @@ func run(args []string, out io.Writer) error {
 	ascii := fs.Bool("ascii", false, "print an ASCII sketch of the final configuration")
 	svgPath := fs.String("svg", "", "write an SVG of the final configuration to this file")
 	llTracePath := fs.String("livelock-trace", "", "write the livelock trace snippet (if the run ends livelocked) to this file as JSON")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gathersim: -memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the live heap before snapshotting it
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gathersim: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	res, err := fatgather.Run(fatgather.Options{

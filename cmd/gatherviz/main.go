@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	fatgather "github.com/fatgather/fatgather"
 	"github.com/fatgather/fatgather/internal/config"
@@ -38,8 +40,38 @@ func run(args []string, out io.Writer) error {
 	tracePath := fs.String("trace", "", "replay a recorded trace file (JSON) instead of rendering a figure or workload")
 	frame := fs.Int("frame", -1, "frame index to render with -trace (negative: from the end, -1 is the last frame)")
 	outPath := fs.String("out", "", "output SVG path (default: stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the render to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gatherviz: -memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the live heap before snapshotting it
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gatherviz: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *tracePath != "" {

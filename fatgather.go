@@ -9,6 +9,7 @@ import (
 	"github.com/fatgather/fatgather/internal/baseline"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/geom"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/vision"
 	"github.com/fatgather/fatgather/internal/viz"
@@ -253,6 +254,20 @@ func Validate(points []Point) error {
 func IsGathered(points []Point) bool {
 	cfg := fromPoints(points)
 	return cfg.Gathered(vision.Default)
+}
+
+// TelemetryJSON returns a JSON snapshot of the process-wide telemetry
+// registry (internal/obs): counters such as simulation events and workload
+// cache hits, gauges, and latency histograms accumulated by every Run and
+// sweep in this process. The snapshot is advisory — telemetry is write-only
+// for the simulation stack, so reading it (or not) never changes results,
+// and snapshots are never part of a sweep store's identity.
+func TelemetryJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := obs.Default.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func initialConfig(opts Options) (config.Geometric, error) {

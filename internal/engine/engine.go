@@ -13,9 +13,25 @@ import (
 	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/metrics"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/vision"
 	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// Telemetry (internal/obs): write-only handles, one-way contract — the
+// engine records pool activity but never reads telemetry back, so batch
+// results stay bit-identical with telemetry on or off. Per-cell granularity
+// (one histogram observation and a few atomic adds per cell) is far off the
+// per-event hot path.
+var (
+	obsCellsStarted   = obs.NewCounter("fatgather_engine_cells_started_total")
+	obsCellsCompleted = obs.NewCounter("fatgather_engine_cells_completed_total")
+	obsCellErrors     = obs.NewCounter("fatgather_engine_cell_errors_total")
+	obsCellSeconds    = obs.NewHistogram("fatgather_engine_cell_seconds")
+	obsCellsInflight  = obs.NewGauge("fatgather_engine_cells_inflight")
+	obsQueueDepth     = obs.NewGauge("fatgather_engine_queue_depth")
+	obsWorkers        = obs.NewGauge("fatgather_engine_workers")
 )
 
 // DefaultAdversary is the adversary used when a Cell does not name one.
@@ -313,12 +329,19 @@ func Run(cells []Cell, opts Options) []CellResult {
 				Cell:  cells[i],
 				Err:   fmt.Errorf("engine: invalid cell [%s]: %w", cells[i].Key(), err),
 			}
+			obsCellErrors.Inc()
 			invalid = append(invalid, i)
 			continue
 		}
 		valid = append(valid, i)
 	}
 	workers := opts.workers(n)
+	// Pool-shape gauges: utilization is cells_inflight / workers; queue depth
+	// drains as workers pick cells up. Set, not Add, so the gauges describe
+	// the most recent batch (concurrent batches are telemetry-racy but
+	// result-safe).
+	obsWorkers.Set(float64(workers))
+	obsQueueDepth.Set(float64(len(valid)))
 
 	jobs := make(chan int)
 	done := make(chan int, n)
@@ -328,6 +351,9 @@ func Run(cells []Cell, opts Options) []CellResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				obsQueueDepth.Add(-1)
+				obsCellsStarted.Inc()
+				obsCellsInflight.Add(1)
 				//gatherlint:ignore nondetsource Elapsed is wall-clock telemetry; it never feeds a cell key, pinned table or stored result identity
 				start := time.Now()
 				res, err := cells[i].runWith(gen)
@@ -338,6 +364,13 @@ func Run(cells []Cell, opts Options) []CellResult {
 					Err:    err,
 					//gatherlint:ignore nondetsource wall-clock telemetry only (see start above)
 					Elapsed: time.Since(start),
+				}
+				obsCellsInflight.Add(-1)
+				obsCellSeconds.Observe(results[i].Elapsed.Seconds())
+				if err != nil {
+					obsCellErrors.Inc()
+				} else {
+					obsCellsCompleted.Inc()
 				}
 				done <- i
 			}

@@ -13,6 +13,7 @@ import (
 	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/geom"
 	"github.com/fatgather/fatgather/internal/metrics"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/sched"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/sweep"
@@ -203,7 +204,12 @@ func (c Config) engineOpts() engine.Options {
 func (c Config) warnf(format string, args ...any) {
 	if c.Warnf != nil {
 		c.Warnf(format, args...)
+		return
 	}
+	// Default warning sink: the serialized obs logger (one writer, logfmt
+	// lines on stderr) instead of a silent drop — sweep-store corruption and
+	// shard accounting stay visible to library callers that set no Warnf.
+	obs.Warnf("experiments", format, args...)
 }
 
 // runCells executes an experiment's cell grid through the resumable sweep
@@ -220,6 +226,11 @@ func (c Config) warnf(format string, args ...any) {
 // (plus any adaptive replicas, reported in the GroupSeeds slice, which is nil
 // for fixed-seed runs).
 func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, []sweep.GroupSeeds) {
+	// Telemetry: mark the sweep active for /progress while the grid drains.
+	// Write-only (one-way contract); the progress view never feeds back into
+	// scheduling.
+	obs.SweepBegin(id, c.ShardOwner)
+	defer obs.SweepEnd()
 	if err := c.Validate(); err != nil {
 		// A misconfigured shard silently claims zero groups; running the
 		// sweep unsharded (and saying so) is strictly more useful. Only the

@@ -37,6 +37,13 @@ func TestPublishDiscipline(t *testing.T) {
 	)
 }
 
+func TestObsRead(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.ObsRead,
+		"obsread/internal/sim",
+		"obsread/unwatched",
+	)
+}
+
 func TestErrClose(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.ErrClose,
 		"errclose/internal/sweep",

@@ -24,6 +24,12 @@ var deterministicPackages = []string{
 	"internal/adversary",
 	"internal/metrics",
 	"internal/experiments",
+	// internal/obs is under the contract for the generic analyzers — its
+	// snapshots must render deterministically (collect-then-sort map walks,
+	// no float equality) — but is exempted by name from nondetsource (reading
+	// the wall clock is its job; see runNonDetSource) and from obsread (it
+	// hosts the read side; see runObsRead).
+	"internal/obs",
 }
 
 // pkgHasSuffix reports whether a package import path ends in the given
@@ -59,6 +65,7 @@ func Analyzers() []*analysis.Analyzer {
 		FloatEq,
 		PublishDiscipline,
 		ErrClose,
+		ObsRead,
 	}
 }
 

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+
+	"github.com/fatgather/fatgather/internal/lint/analysis"
+)
+
+// ObsRead enforces the one-way telemetry contract of internal/obs: packages
+// under the determinism contract may WRITE telemetry (create instruments,
+// increment counters, observe durations, publish progress) but never READ it
+// back. A read — a counter value, a registry snapshot, the progress state —
+// from a result-producing package is a channel through which telemetry could
+// steer scheduling or results, silently breaking the pinned determinism
+// hashes the moment someone branches on it. The read side (snapshots,
+// Prometheus rendering, the HTTP handler) belongs to cmd/ binaries and the
+// public fatgather package, which sit outside the contract.
+//
+// The analyzer is deny-by-default: any call that resolves to internal/obs is
+// flagged unless its name is on the write-side allowlist below, so a newly
+// added obs API is read-side until explicitly classified.
+var ObsRead = &analysis.Analyzer{
+	Name: "obsread",
+	Doc:  "flag reads of the internal/obs telemetry registry in determinism-contract packages (telemetry is write-only there)",
+	Run:  runObsRead,
+}
+
+// obsWriteAPI is the write-side surface of internal/obs — the only obs
+// identifiers a determinism-contract package may call. Everything else
+// (Value, Snapshot, ProgressSnapshot, WriteJSON, WritePrometheus, DumpJSON,
+// Handler, SetDefaultOutput, ...) is the read/serving side.
+var obsWriteAPI = map[string]bool{
+	// Instrument constructors and labels (package-level helpers, plus the
+	// get-or-create Registry methods of the same names).
+	"NewCounter": true, "NewGauge": true, "NewHistogram": true, "L": true,
+	"NewRegistry": true, "NewLogger": true,
+	"Counter": true, "Gauge": true, "Histogram": true,
+	// Instrument write methods.
+	"Inc": true, "Add": true, "Set": true, "Observe": true,
+	// Serialized logging.
+	"Warnf": true, "Infof": true,
+	// Sweep progress publication.
+	"SweepBegin": true, "SweepEnd": true, "SweepGroups": true,
+	"SweepGroupClaimed": true, "SweepGroupDone": true,
+	"SweepLeaseReclaimed": true, "SweepCells": true, "SweepAdaptive": true,
+}
+
+func runObsRead(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	// internal/obs itself is exempt: the registry's own read side (snapshot
+	// and rendering code) lives there by design.
+	if !isDeterministicPkg(path) || pkgHasSuffix(path, "internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !pkgHasSuffix(fn.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			if obsWriteAPI[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to obs read API %s in a determinism-contract package violates the one-way telemetry contract (results must not depend on telemetry); move the read to a cmd/ or serving layer", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -59,6 +59,7 @@ func TestWatchedPackagesExist(t *testing.T) {
 		"github.com/fatgather/fatgather/internal/adversary",
 		"github.com/fatgather/fatgather/internal/metrics",
 		"github.com/fatgather/fatgather/internal/experiments",
+		"github.com/fatgather/fatgather/internal/obs",
 	} {
 		if !have[want] {
 			t.Errorf("determinism-contract package %s not loaded", want)

@@ -1,0 +1,15 @@
+// Package unwatched sits outside the determinism contract: serving layers
+// read telemetry freely, so obsread must stay quiet here.
+package unwatched
+
+import (
+	"io"
+
+	"github.com/fatgather/fatgather/internal/obs"
+)
+
+func dump(w io.Writer) error {
+	_ = obs.ProgressSnapshot()
+	_ = obs.Handler()
+	return obs.Default.WritePrometheus(w)
+}

@@ -1,0 +1,33 @@
+// Package obs is the deterministic-safe telemetry layer: a stdlib-only
+// metrics registry (counters, gauges, histograms, labeled families), a
+// serialized structured logger, and a live sweep-progress tracker, exposed
+// over HTTP (/metrics in Prometheus text format, /progress as JSON,
+// net/http/pprof under /debug/pprof/) and as JSON snapshots.
+//
+// # The one-way contract
+//
+// Telemetry is strictly one-way. Result-producing packages (internal/sim,
+// internal/engine, internal/sweep, ... — the gatherlint deterministicPackages
+// list) may WRITE to obs — increment counters, set gauges, observe
+// histograms, emit log lines, update sweep progress — but must never READ
+// from it: no Value, no Snapshot, no ProgressSnapshot. Reads belong to the
+// serving layer (the cmd/ binaries and the HTTP handlers). Because no pinned
+// result can depend on a telemetry read, every determinism hash, sweep store
+// byte and livelock fingerprint is byte-identical with telemetry on or off.
+// The contract is enforced statically by gatherlint's obsread analyzer.
+//
+// Wall-clock reads that feed telemetry (step timing, per-cell elapsed, store
+// latency) stay at the call sites in the instrumented packages, each behind
+// the established `//gatherlint:ignore nondetsource` discipline; obs itself
+// is exempt from nondetsource (reading the clock is its job — see
+// internal/lint/nondetsource.go) but remains under every other gatherlint
+// analyzer, so e.g. its snapshots must sort before iterating maps.
+//
+// # Hot-path cost
+//
+// Metric handles are package-level vars resolved once at init; writes are
+// single atomic operations (histograms: one linear bucket scan over ~10
+// bounds plus two atomic adds and a CAS loop for the sum). Per-event costs in
+// the simulator are batched or sampled (see internal/sim) so the pinned
+// allocation budgets and throughput benchmarks are unaffected.
+package obs

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is a serialized structured logger: every line is emitted under one
+// mutex through one writer, so concurrent workers can no longer interleave
+// partial lines on stderr. The line format is machine-parseable logfmt:
+//
+//	ts=2026-08-08T12:00:00.000Z level=warn component=sweep msg="skipping corrupt record ..."
+//
+// Writing a line is telemetry (write API); the logger exposes nothing to
+// read back, so it is one-way by construction. Each line also increments the
+// fatgather_log_lines_total{level=...} counter on the Default registry, which
+// is how warn-path activity (corrupt store lines, lease errors) becomes
+// visible in /metrics.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a logger writing to w.
+func NewLogger(w io.Writer) *Logger { return &Logger{w: w} }
+
+// defaultLogger serializes the process-wide warn path (package-level Warnf /
+// Infof). Guarded by defaultMu so SetDefaultOutput can redirect it in tests
+// and CLIs.
+var (
+	defaultMu     sync.Mutex
+	defaultLogger = NewLogger(os.Stderr)
+)
+
+// SetDefaultOutput redirects the package-level logger (used by instrumented
+// packages' warn paths) to w, returning a restore function. Serving-layer
+// and test use only.
+func SetDefaultOutput(w io.Writer) (restore func()) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	prev := defaultLogger
+	defaultLogger = NewLogger(w)
+	return func() {
+		defaultMu.Lock()
+		defer defaultMu.Unlock()
+		defaultLogger = prev
+	}
+}
+
+func defaultLog() *Logger {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultLogger
+}
+
+// Warnf emits one warn-level line on the process-wide logger. Write API.
+func Warnf(component, format string, args ...any) {
+	defaultLog().Warnf(component, format, args...)
+}
+
+// Infof emits one info-level line on the process-wide logger. Write API.
+func Infof(component, format string, args ...any) {
+	defaultLog().Infof(component, format, args...)
+}
+
+// Warnf emits one warn-level line. Write API.
+func (l *Logger) Warnf(component, format string, args ...any) {
+	l.logf("warn", component, format, args...)
+}
+
+// Infof emits one info-level line. Write API.
+func (l *Logger) Infof(component, format string, args ...any) {
+	l.logf("info", component, format, args...)
+}
+
+func (l *Logger) logf(level, component, format string, args ...any) {
+	logLines(level).Inc()
+	msg := fmt.Sprintf(format, args...)
+	//gatherlint:ignore nondetsource log timestamps are telemetry metadata, never folded into results
+	ts := time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	line := fmt.Sprintf("ts=%s level=%s component=%s msg=%q\n", ts, level, component, quoteSafe(msg))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, line)
+}
+
+// quoteSafe keeps the msg value single-line so one log record is always one
+// physical line (the %q quoting escapes the rest).
+func quoteSafe(msg string) string {
+	msg = strings.ReplaceAll(msg, "\n", " ")
+	return strings.ReplaceAll(msg, "\r", " ")
+}
+
+// logLines resolves the per-level line counter lazily: levels are few, so
+// the get-or-create lookup cost is irrelevant next to the format+write.
+func logLines(level string) *Counter {
+	return Default.Counter("fatgather_log_lines_total", L("level", level))
+}

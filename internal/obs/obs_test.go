@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // negative deltas are ignored: counters stay monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_total", L("kind", "a")); again != c {
+		t.Fatal("get-or-create returned a different counter for the same series")
+	}
+	if other := r.Counter("test_total", L("kind", "b")); other == c {
+		t.Fatal("distinct label values must be distinct series")
+	}
+
+	g := r.Gauge("test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("test_seconds")
+	h.Observe(5e-7) // bucket le=1e-6
+	h.Observe(0.05) // bucket le=0.1
+	h.Observe(1000) // +Inf bucket
+	snap := h.snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("histogram count = %d, want 3", snap.Count)
+	}
+	if want := 5e-7 + 0.05 + 1000; math.Abs(snap.Sum-want) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want %v", snap.Sum, want)
+	}
+	last := snap.Buckets[len(snap.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != 3 {
+		t.Fatalf("+Inf bucket = %+v, want cumulative 3", last)
+	}
+	for i := 1; i < len(snap.Buckets); i++ {
+		if snap.Buckets[i].Count < snap.Buckets[i-1].Count {
+			t.Fatalf("bucket counts not cumulative: %+v", snap.Buckets)
+		}
+	}
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("b", "2"), L("a", "1"))
+	b := r.Counter("x_total", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order must not change series identity")
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total")
+	h := r.Histogram("race_seconds")
+	g := r.Gauge("race_gauge")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if got := h.snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_events_total").Add(7)
+	r.Counter("app_runs_total", L("outcome", "gathered")).Add(2)
+	r.Counter("app_runs_total", L("outcome", "stalled")).Inc()
+	r.Gauge("app_workers").Set(4)
+	r.Histogram("app_step_seconds").Observe(0.002)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_events_total counter\napp_events_total 7\n",
+		"# TYPE app_runs_total counter\napp_runs_total{outcome=\"gathered\"} 2\napp_runs_total{outcome=\"stalled\"} 1\n",
+		"# TYPE app_workers gauge\napp_workers 4\n",
+		"# TYPE app_step_seconds histogram\n",
+		"app_step_seconds_bucket{le=\"0.01\"} 1\n",
+		"app_step_seconds_bucket{le=\"+Inf\"} 1\n",
+		"app_step_seconds_sum 0.002\n",
+		"app_step_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition output missing %q in:\n%s", want, out)
+		}
+	}
+	// Rendering must be deterministic (sorted series).
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if out != b2.String() {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestSnapshotKeys(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", L("k", "v")).Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c_seconds").Observe(1)
+	s := r.Snapshot()
+	if s.Counters[`a_total{k="v"}`] != 1 {
+		t.Fatalf("counter key missing: %v", s.Counters)
+	}
+	if s.Gauges["b"] != 1 {
+		t.Fatalf("gauge key missing: %v", s.Gauges)
+	}
+	if s.Histograms["c_seconds"].Count != 1 {
+		t.Fatalf("histogram key missing: %v", s.Histograms)
+	}
+	if s.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %v, want >= 0", s.UptimeSeconds)
+	}
+}

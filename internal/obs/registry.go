@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value pair attached to a metric. Families of series
+// under one metric name (e.g. run outcomes) are formed by registering the
+// same name with different label sets.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// not usable; obtain counters from a Registry (or the package-level Counter
+// helper) so they appear in snapshots.
+type Counter struct {
+	v      atomic.Int64
+	name   string
+	labels []Label
+}
+
+// Inc adds one. Write API.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the counter to stay monotone; negative
+// deltas are ignored). Write API.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Read API: serving layer only — calling
+// this from a determinism-contract package is a gatherlint obsread finding.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits   atomic.Uint64
+	name   string
+	labels []Label
+}
+
+// Set replaces the gauge value. Write API.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (negative deltas decrease it). Write API.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value. Read API: serving layer only.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DurationBuckets is the default histogram bucket ladder, in seconds: a
+// decade ladder from 100ns to 60s chosen to cover everything the repo
+// observes, from a single simulator step to a full store load.
+var DurationBuckets = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 60}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts; an
+// Observe is allocation-free (a linear scan over the bounds, two atomic adds
+// and a CAS loop for the sum), cheap enough for per-cell and sampled
+// per-event observation.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	name    string
+	labels  []Label
+}
+
+// Observe records one value. Write API.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket: the number of observations
+// <= LE (math.Inf(1) for the final bucket, rendered "+Inf" in the exposition
+// format). Its JSON form renders LE as a string, exactly like the Prometheus
+// le label, because JSON has no literal for infinities (see MarshalJSON in
+// snapshot.go).
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// snapshot copies the histogram state with cumulative bucket counts.
+// Read side; unexported so the read API surface stays on Registry.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Buckets: make([]BucketCount, len(h.bounds)+1),
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = BucketCount{LE: le, Count: cum}
+	}
+	return s
+}
+
+// Registry holds named metrics. Get-or-create lookups take a mutex; callers
+// on hot paths resolve their handles once (package-level vars) and then only
+// pay atomic writes.
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry whose uptime clock starts now.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry used by the package-level helpers and
+// by everything the instrumented packages record.
+var Default = NewRegistry()
+
+// seriesKey renders the canonical identity of one series: the metric name
+// plus its labels sorted by key. It is also the exposition-format series
+// name, so snapshots can use it directly.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use. Write API (returns a write handle).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{name: name, labels: sortedLabels(labels)}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on first
+// use. Write API.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{name: name, labels: sortedLabels(labels)}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name+labels with the
+// DurationBuckets ladder, creating it on first use. Write API.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := seriesKey(name, labels)
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{
+			bounds: DurationBuckets,
+			counts: make([]atomic.Int64, len(DurationBuckets)+1),
+			name:   name,
+			labels: sortedLabels(labels),
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// NewCounter returns (get-or-create) a counter on the Default registry.
+func NewCounter(name string, labels ...Label) *Counter { return Default.Counter(name, labels...) }
+
+// NewGauge returns (get-or-create) a gauge on the Default registry.
+func NewGauge(name string, labels ...Label) *Gauge { return Default.Gauge(name, labels...) }
+
+// NewHistogram returns (get-or-create) a histogram on the Default registry.
+func NewHistogram(name string, labels ...Label) *Histogram { return Default.Histogram(name, labels...) }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, keyed by
+// canonical series name (metric name plus sorted labels). encoding/json
+// marshals map keys in sorted order, so the serialized form is stable for a
+// given set of values. Snapshots are advisory telemetry: they are never part
+// of sweep store identity or any pinned hash (see internal/sweep/FORMAT.md).
+type Snapshot struct {
+	// UptimeSeconds is the wall-clock age of the registry (process start for
+	// Default), the denominator for rate summaries such as events/sec.
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]float64           `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Read API: serving layer
+// only — calling this from a determinism-contract package is a gatherlint
+// obsread finding.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		//gatherlint:ignore nondetsource uptime is telemetry metadata, never folded into results
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]float64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	// Map-to-map copies are order-independent, but collect-and-sort anyway so
+	// the package honors the same detmaprange idiom it is linted under.
+	for _, key := range sortedKeys(r.counters) {
+		s.Counters[key] = r.counters[key].Value()
+	}
+	for _, key := range sortedKeys(r.gauges) {
+		s.Gauges[key] = r.gauges[key].Value()
+	}
+	for _, key := range sortedKeys(r.hists) {
+		s.Histograms[key] = r.hists[key].snapshot()
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. Read API.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// DumpJSON writes the registry snapshot to the named file, for the
+// -telemetry-out flag. Read API.
+func (r *Registry) DumpJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create telemetry snapshot: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write telemetry snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close telemetry snapshot: %w", err)
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric name, then each
+// series sorted by canonical name; histograms expand into cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`. Read API.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type series struct {
+		name string // metric name (TYPE line granularity)
+		key  string // canonical series name (sort key)
+		kind string
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	all := make([]series, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, key := range sortedKeys(r.counters) {
+		c := r.counters[key]
+		all = append(all, series{name: c.name, key: key, kind: "counter", c: c})
+	}
+	for _, key := range sortedKeys(r.gauges) {
+		g := r.gauges[key]
+		all = append(all, series{name: g.name, key: key, kind: "gauge", g: g})
+	}
+	for _, key := range sortedKeys(r.hists) {
+		h := r.hists[key]
+		all = append(all, series{name: h.name, key: key, kind: "histogram", h: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].key < all[j].key
+	})
+
+	var b strings.Builder
+	lastTyped := ""
+	for _, s := range all {
+		if s.name != lastTyped {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+			lastTyped = s.name
+		}
+		switch s.kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s %d\n", s.key, s.c.Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%s %s\n", s.key, formatFloat(s.g.Value()))
+		case "histogram":
+			snap := s.h.snapshot()
+			for _, bc := range snap.Buckets {
+				le := "+Inf"
+				if !math.IsInf(bc.LE, 1) {
+					le = formatFloat(bc.LE)
+				}
+				fmt.Fprintf(&b, "%s %d\n", seriesKey(s.name+"_bucket", append(append([]Label(nil), s.h.labels...), L("le", le))), bc.Count)
+			}
+			fmt.Fprintf(&b, "%s %s\n", seriesKey(s.name+"_sum", s.h.labels), formatFloat(snap.Sum))
+			fmt.Fprintf(&b, "%s %d\n", seriesKey(s.name+"_count", s.h.labels), snap.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MarshalJSON renders the bucket bound as a string, matching the Prometheus
+// le label convention ("0.001", "+Inf"): encoding/json rejects the +Inf of
+// the final bucket as a number.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = formatFloat(b.LE)
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}

@@ -4,17 +4,48 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/fatgather/fatgather/internal/adversary"
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/core"
 	"github.com/fatgather/fatgather/internal/geom"
 	"github.com/fatgather/fatgather/internal/geom/incr"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/robot"
 	"github.com/fatgather/fatgather/internal/sched"
 	"github.com/fatgather/fatgather/internal/trace"
 	"github.com/fatgather/fatgather/internal/vision"
 )
+
+// Telemetry (internal/obs): write-only handles resolved once at init, per
+// the one-way contract — this package never reads them back, so results are
+// byte-identical with telemetry on or off. Per-event costs are batched
+// (event/outcome counters flush once per run in result()) or sampled (step
+// timing observes every stepSampleEvery-th event), keeping the hot path
+// within its pinned allocation and throughput budgets.
+var (
+	obsEvents      = obs.NewCounter("fatgather_sim_events_total")
+	obsLivelocks   = obs.NewCounter("fatgather_sim_livelocks_certified_total")
+	obsStepSeconds = obs.NewHistogram("fatgather_sim_step_seconds")
+
+	// obsRuns indexes the per-outcome run counters by Outcome value; the
+	// label strings mirror Outcome.String().
+	obsRuns = [...]*obs.Counter{
+		OutcomeAllTerminated:   obs.NewCounter("fatgather_sim_runs_total", obs.L("outcome", "all-terminated")),
+		OutcomeGathered:        obs.NewCounter("fatgather_sim_runs_total", obs.L("outcome", "gathered")),
+		OutcomeBudgetExhausted: obs.NewCounter("fatgather_sim_runs_total", obs.L("outcome", "budget-exhausted")),
+		OutcomeStalled:         obs.NewCounter("fatgather_sim_runs_total", obs.L("outcome", "stalled")),
+		OutcomeLivelocked:      obs.NewCounter("fatgather_sim_runs_total", obs.L("outcome", "livelocked")),
+		OutcomeError:           obs.NewCounter("fatgather_sim_runs_total", obs.L("outcome", "error")),
+	}
+)
+
+// stepSampleEvery is the step-timing sampling period: Step observes the
+// wall-clock duration of every 64th event, which keeps the per-event
+// overhead of two clock reads off the common path while still populating
+// the latency histogram densely (a typical cell runs thousands of events).
+const stepSampleEvery = 64
 
 // Algorithm is a pluggable local algorithm run in the Compute state. The
 // paper's algorithm (PaperAlgorithm) is the default; baselines implement the
@@ -398,6 +429,12 @@ var ErrBadSchedule = errors.New("sim: strategy scheduled a robot outside the can
 // ErrLivelocked when the zero-progress cycle detector certifies a livelock
 // (see OutcomeLivelocked), and ErrBadSchedule on an invalid pick.
 func (s *Simulator) Step() error {
+	sampled := s.events%stepSampleEvery == 0
+	var stepStart time.Time
+	if sampled {
+		//gatherlint:ignore nondetsource sampled wall-clock step timing is telemetry only, never folded into results
+		stepStart = time.Now()
+	}
 	candidates := s.activeCandidates()
 	if len(candidates) == 0 {
 		return nil
@@ -445,6 +482,10 @@ func (s *Simulator) Step() error {
 	}
 	if !s.opts.NoLivelockDetection && s.noteLivelockProgress() {
 		return ErrLivelocked
+	}
+	if sampled {
+		//gatherlint:ignore nondetsource sampled wall-clock step timing is telemetry only, never folded into results
+		obsStepSeconds.Observe(time.Since(stepStart).Seconds())
 	}
 	return nil
 }
@@ -612,6 +653,15 @@ func (s *Simulator) observe() {
 }
 
 func (s *Simulator) result(outcome Outcome, err error) Result {
+	// Flush the batched telemetry for this run: one counter add per run
+	// instead of one per event keeps atomic traffic off the event loop.
+	obsEvents.Add(int64(s.events))
+	if int(outcome) > 0 && int(outcome) < len(obsRuns) && obsRuns[outcome] != nil {
+		obsRuns[outcome].Inc()
+	}
+	if outcome == OutcomeLivelocked {
+		obsLivelocks.Inc()
+	}
 	cfg := s.Config()
 	cycles := 0
 	distance := 0.0

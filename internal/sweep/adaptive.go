@@ -3,7 +3,16 @@ package sweep
 import (
 	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/metrics"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/sim"
+)
+
+// Telemetry (internal/obs): open/closed group gauges, write-only per the
+// one-way contract — the stopping rule consults only its own samples. The
+// per-group CI state feeding /progress flows through obs.SweepAdaptive.
+var (
+	obsAdaptiveOpen   = obs.NewGauge("fatgather_sweep_adaptive_groups_open")
+	obsAdaptiveClosed = obs.NewGauge("fatgather_sweep_adaptive_groups_closed")
 )
 
 // DefaultMaxSeeds is the per-group seed cap when Adaptive.MaxSeeds is unset.
@@ -149,15 +158,25 @@ func RunAdaptive(cells []engine.Cell, opts Options, ad Adaptive) ([]engine.CellR
 			observe(res[i])
 		}
 		all = append(all, res...)
+		// The group set grows as rounds discover cells; keep the live total
+		// current for /progress.
+		obs.SweepGroups(len(order))
 
 		pending = pending[:0:0]
+		open := 0
 		for _, key := range order {
 			g := groups[key]
+			hw := metrics.CI95HalfWidth(g.values)
 			if ad.stopAt(g.seeds, g.values) {
+				obs.SweepAdaptive(key, g.seeds, hw, true)
 				continue
 			}
+			open++
+			obs.SweepAdaptive(key, g.seeds, hw, false)
 			pending = append(pending, nextReplica(g.sample, g.maxSeed))
 		}
+		obsAdaptiveOpen.Set(float64(open))
+		obsAdaptiveClosed.Set(float64(len(order) - open))
 	}
 	infos := make([]GroupSeeds, 0, len(order))
 	for _, key := range order {

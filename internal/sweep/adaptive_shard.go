@@ -6,6 +6,7 @@ import (
 
 	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/metrics"
+	"github.com/fatgather/fatgather/internal/obs"
 )
 
 // adaptiveShardGroup is one cell group of a sharded adaptive sweep: the
@@ -159,6 +160,8 @@ func RunAdaptiveSharded(cells []engine.Cell, opts Options, ad Adaptive, sh Shard
 		g.initial = append(g.initial, c)
 	}
 
+	obs.SweepGroups(len(order))
+
 	eopts := opts
 	eopts.OnResult = nil
 
@@ -290,6 +293,7 @@ func runAdaptiveCooperative(groups map[string]*adaptiveShardGroup, order []strin
 		}
 		if reclaimed {
 			stats.LeasesReclaimed++
+			obs.SweepLeaseReclaimed()
 		}
 		// Merge the fleet's history before deciding what is left to run: the
 		// previous holder may have finished (or advanced) the group between
@@ -298,12 +302,17 @@ func runAdaptiveCooperative(groups map[string]*adaptiveShardGroup, order []strin
 		pr := g.eval(ad, store, local, false)
 		ran := !pr.closed
 		if ran {
+			obs.SweepGroupClaimed(stealing)
+			if stealing {
+				obsGroupSteals.Inc()
+			}
 			var stopHB func()
 			if l != nil {
 				stopHB = l.heartbeat(sh.Heartbeat)
 			}
 			for !pr.closed {
 				_ = pub.publish(stateOf(gk, pr))
+				obs.SweepAdaptive(gk, pr.seeds, pr.halfWidth, false)
 				res, st := Run(pr.pending, eopts)
 				stats.Executed += st.Executed
 				stats.AppendErrs += st.AppendErrs
@@ -323,10 +332,12 @@ func runAdaptiveCooperative(groups map[string]*adaptiveShardGroup, order []strin
 			if stealing {
 				stats.GroupsStolen++
 			}
+			obs.SweepGroupDone()
 		}
 		record(gk, g.eval(ad, store, local, true))
 		closed[gk] = true
 		_ = pub.publish(stateOf(gk, pr))
+		obs.SweepAdaptive(gk, pr.seeds, pr.halfWidth, pr.closed)
 		if l != nil {
 			l.release()
 		}
@@ -344,9 +355,10 @@ func runAdaptiveCooperative(groups map[string]*adaptiveShardGroup, order []strin
 			// the stored history alone proves the trajectory ended. The peek
 			// (collect=false) keeps the poll loop allocation-free; the full
 			// result set is materialized once, here, at collection.
-			if groups[gk].eval(ad, store, local, false).closed {
+			if pr := groups[gk].eval(ad, store, local, false); pr.closed {
 				record(gk, groups[gk].eval(ad, store, local, true))
 				closed[gk] = true
+				obs.SweepAdaptive(gk, pr.seeds, pr.halfWidth, true)
 				progress = true
 				continue
 			}
@@ -372,6 +384,8 @@ func runAdaptiveCooperative(groups map[string]*adaptiveShardGroup, order []strin
 				}
 			}
 		}
+		obsAdaptiveOpen.Set(float64(len(order) - len(closed)))
+		obsAdaptiveClosed.Set(float64(len(closed)))
 		if len(closed) == len(order) {
 			return
 		}

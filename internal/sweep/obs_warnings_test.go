@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/obs"
+)
+
+// TestStoreWarningsEmitTelemetry pins the load-time warning telemetry: a
+// corrupt store line and a schema/engine mismatch must increment their obs
+// counters and emit serialized logfmt warn lines the moment the store is
+// opened — so warnings are visible on resume, merge, and read-only scans, not
+// only to callers that remember to drain Warnings(). (Tests may read obs
+// counters; the obsread one-way contract covers only shipped sources.)
+func TestStoreWarningsEmitTelemetry(t *testing.T) {
+	cells := smallCells(1)
+	results := engine.Run(cells[:2], engine.Options{})
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if err := st.Append(cells[i].Key(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Corrupt the first record's JSON.
+	data, err := os.ReadFile(st.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[0] = "{\"schema\":garbage\n"
+	if err := os.WriteFile(st.Path(), []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	restore := obs.SetDefaultOutput(&log)
+	defer restore()
+
+	before := obsCorruptLines.Value()
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	if got := obsCorruptLines.Value(); got != before+1 {
+		t.Fatalf("corrupt-line counter went %d -> %d, want +1", before, got)
+	}
+	if out := log.String(); !strings.Contains(out, "level=warn component=sweep") ||
+		!strings.Contains(out, "corrupt") {
+		t.Fatalf("corrupt line produced no serialized warn line:\n%s", out)
+	}
+
+	// Rebuild a clean store, then age its engine version: the mismatch path
+	// has its own counter.
+	dir2 := t.TempDir()
+	st2, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Append(cells[0].Key(), results[0]); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	data, err = os.ReadFile(st2.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), engine.Version, "fatgather-engine/0", 1)
+	if mutated == string(data) {
+		t.Fatal("test setup: engine version not found in store file")
+	}
+	if err := os.WriteFile(st2.Path(), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log.Reset()
+	before = obsSchemaMismatch.Value()
+	re2, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re2.Close()
+	if got := obsSchemaMismatch.Value(); got != before+1 {
+		t.Fatalf("schema-mismatch counter went %d -> %d, want +1", before, got)
+	}
+	if out := log.String(); !strings.Contains(out, "level=warn component=sweep") ||
+		!strings.Contains(out, "mismatch") {
+		t.Fatalf("schema mismatch produced no serialized warn line:\n%s", out)
+	}
+}

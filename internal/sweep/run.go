@@ -2,7 +2,16 @@ package sweep
 
 import (
 	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/workload"
+)
+
+// Telemetry (internal/obs): write-only handles, one-way contract — the
+// resumable layer counts what it executed vs restored but never reads the
+// counters back.
+var (
+	obsCellsExecuted = obs.NewCounter("fatgather_sweep_cells_executed_total")
+	obsCellsRestored = obs.NewCounter("fatgather_sweep_cells_restored_total")
 )
 
 // Options configures a resumable sweep run.
@@ -66,6 +75,9 @@ func Run(cells []engine.Cell, opts Options) ([]engine.CellResult, Stats) {
 		missing = append(missing, i)
 	}
 	stats.Executed = len(missing)
+	obsCellsExecuted.Add(int64(stats.Executed))
+	obsCellsRestored.Add(int64(stats.Restored))
+	obs.SweepCells(int64(stats.Executed), int64(stats.Restored))
 
 	eopts := opts.Engine
 	if eopts.Workloads == nil && opts.Cache != nil {

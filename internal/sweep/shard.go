@@ -11,6 +11,17 @@ import (
 	"time"
 
 	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/obs"
+)
+
+// Telemetry (internal/obs): write-only lease-layer counters, one-way
+// contract — arbitration never consults them. The live /progress view is fed
+// through the obs.Sweep* write helpers at the claim/run sites below.
+var (
+	obsLeaseClaims   = obs.NewCounter("fatgather_sweep_lease_claims_total")
+	obsLeaseRenewals = obs.NewCounter("fatgather_sweep_lease_renewals_total")
+	obsLeaseReclaims = obs.NewCounter("fatgather_sweep_lease_reclaims_total")
+	obsGroupSteals   = obs.NewCounter("fatgather_sweep_group_steals_total")
 )
 
 // ErrNotClaimed marks a cell that a statically sharded worker skipped because
@@ -207,6 +218,7 @@ func (m *leaseManager) claim(groupKey string) (*lease, bool, error) {
 	l := &lease{m: m, path: m.pathFor(groupKey), group: groupKey}
 	err := l.create()
 	if err == nil {
+		obsLeaseClaims.Inc()
 		return l, false, nil
 	}
 	if !errors.Is(err, os.ErrExist) {
@@ -223,6 +235,7 @@ func (m *leaseManager) claim(groupKey string) (*lease, bool, error) {
 		if errors.Is(err, os.ErrNotExist) {
 			// Released or reclaimed underneath us; try a fresh claim.
 			if cerr := l.create(); cerr == nil {
+				obsLeaseClaims.Inc()
 				return l, false, nil
 			} else if errors.Is(cerr, os.ErrExist) {
 				return nil, false, nil
@@ -252,6 +265,8 @@ func (m *leaseManager) claim(groupKey string) (*lease, bool, error) {
 		}
 		return nil, false, err
 	}
+	obsLeaseClaims.Inc()
+	obsLeaseReclaims.Inc()
 	return l, true, nil
 }
 
@@ -304,6 +319,7 @@ func (l *lease) renew() (bool, error) {
 	if err := os.Rename(tmp, l.path); err != nil {
 		return false, fmt.Errorf("sweep: renew lease: %w", err)
 	}
+	obsLeaseRenewals.Inc()
 	return true, nil
 }
 
@@ -395,6 +411,8 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 		groupIdx[gk] = append(groupIdx[gk], i)
 	}
 
+	obs.SweepGroups(len(order))
+
 	var lm *leaseManager
 	if sh.Owner != "" && opts.Store != nil {
 		lm = newLeaseManager(opts.Store.Dir(), sh)
@@ -428,6 +446,8 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 				}
 				have[i] = true
 				stats.Restored++
+				obsCellsRestored.Inc()
+				obs.SweepCells(0, 1)
 			} else {
 				all = false
 			}
@@ -476,9 +496,20 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 	// fallback. A false return means a peer holds a fresh lease.
 	visit := func(gk string) bool {
 		g := groupIdx[gk]
+		// stolen marks tail work taken outside this worker's static share;
+		// recorded live for /progress and the steal counter.
+		stolen := sh.Shards > 1 && !sh.mine(gk)
+		markRun := func() {
+			ran[gk] = true
+			if stolen {
+				obsGroupSteals.Inc()
+			}
+			obs.SweepGroupClaimed(stolen)
+			obs.SweepGroupDone()
+		}
 		if lm == nil {
 			runGroup(g)
-			ran[gk] = true
+			markRun()
 			return true
 		}
 		l, reclaimed, err := lm.claim(gk)
@@ -490,7 +521,7 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 			// the worst case is duplicated, bit-identical records.
 			stats.LeaseErrs++
 			runGroup(g)
-			ran[gk] = true
+			markRun()
 			return true
 		}
 		if l == nil {
@@ -498,6 +529,7 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 		}
 		if reclaimed {
 			stats.LeasesReclaimed++
+			obs.SweepLeaseReclaimed()
 		}
 		// The peer that held this lease may have finished the group
 		// between our store scan and the claim: re-read the store so
@@ -509,7 +541,7 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 			stopHB := l.heartbeat(sh.Heartbeat)
 			runGroup(g)
 			stopHB()
-			ran[gk] = true
+			markRun()
 		}
 		// A group that turned out complete after the claim (the peer
 		// released between our store scan and the claim) counts as

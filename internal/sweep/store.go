@@ -14,8 +14,21 @@ import (
 	"github.com/fatgather/fatgather/internal/config"
 	"github.com/fatgather/fatgather/internal/core"
 	"github.com/fatgather/fatgather/internal/engine"
+	"github.com/fatgather/fatgather/internal/obs"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/trace"
+)
+
+// Telemetry (internal/obs): write-only handles, one-way contract. Store
+// warnings additionally go through the obs logger at load time, so corrupt-
+// line skips are visible on every path that opens a store (resume, merge,
+// read-only scans) — not only where a caller remembers to print Warnings().
+var (
+	obsCorruptLines   = obs.NewCounter("fatgather_sweep_store_corrupt_lines_total")
+	obsSchemaMismatch = obs.NewCounter("fatgather_sweep_store_schema_mismatch_total")
+	obsStoreLoads     = obs.NewHistogram("fatgather_sweep_store_load_seconds")
+	obsStoreAppends   = obs.NewHistogram("fatgather_sweep_store_append_seconds")
+	obsRecordsAdded   = obs.NewCounter("fatgather_sweep_store_records_appended_total")
 )
 
 // SchemaVersion is the version of the JSONL record layout. Records written
@@ -251,6 +264,10 @@ func open(dir string, shared bool) (*Store, error) {
 // byte offset after the last complete line, so Reload can resume scanning
 // there instead of re-parsing the whole file.
 func (s *Store) load() (good []string, corrupt, mismatch bool, consumed int64, err error) {
+	//gatherlint:ignore nondetsource store-load latency is wall-clock telemetry only, never folded into results
+	loadStart := time.Now()
+	//gatherlint:ignore nondetsource wall-clock telemetry only (see loadStart above)
+	defer func() { obsStoreLoads.Observe(time.Since(loadStart).Seconds()) }()
 	data, err := os.ReadFile(s.path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, false, false, 0, nil
@@ -266,15 +283,20 @@ func (s *Store) load() (good []string, corrupt, mismatch bool, consumed int64, e
 		}
 		var rec record
 		if uerr := json.Unmarshal([]byte(line), &rec); uerr != nil || rec.Key == "" {
-			s.warnings = append(s.warnings,
-				fmt.Sprintf("%s:%d: skipping corrupt record (cell will re-run)", s.path, i+1))
+			w := fmt.Sprintf("%s:%d: skipping corrupt record (cell will re-run)", s.path, i+1)
+			s.warnings = append(s.warnings, w)
+			obsCorruptLines.Inc()
+			obs.Warnf("sweep", "%s", w)
 			corrupt = true
 			continue
 		}
 		if rec.Schema != SchemaVersion || rec.Engine != engine.Version {
-			s.warnings = append(s.warnings, fmt.Sprintf(
+			w := fmt.Sprintf(
 				"%s: schema/engine mismatch (have schema %d engine %q, want schema %d engine %q): discarding store, clean re-run",
-				s.path, rec.Schema, rec.Engine, SchemaVersion, engine.Version))
+				s.path, rec.Schema, rec.Engine, SchemaVersion, engine.Version)
+			s.warnings = append(s.warnings, w)
+			obsSchemaMismatch.Inc()
+			obs.Warnf("sweep", "%s", w)
 			s.done = make(map[string]Stored)
 			return nil, corrupt, true, 0, nil
 		}
@@ -407,9 +429,14 @@ func (s *Store) Append(key string, r engine.CellResult) error {
 	if s.f == nil {
 		return errors.New("sweep: store is closed")
 	}
+	//gatherlint:ignore nondetsource append latency is wall-clock telemetry only, never folded into results
+	appendStart := time.Now()
 	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("sweep: append record: %w", err)
 	}
+	//gatherlint:ignore nondetsource wall-clock telemetry only (see appendStart above)
+	obsStoreAppends.Observe(time.Since(appendStart).Seconds())
+	obsRecordsAdded.Inc()
 	s.done[key] = rec.stored()
 	return nil
 }

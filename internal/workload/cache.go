@@ -4,6 +4,16 @@ import (
 	"sync"
 
 	"github.com/fatgather/fatgather/internal/config"
+	"github.com/fatgather/fatgather/internal/obs"
+)
+
+// Telemetry (internal/obs): process-wide hit/miss counters across every
+// Cache instance, write-only per the one-way contract (per-instance numbers
+// stay available to callers through Stats, which reads the cache's own
+// fields, not obs).
+var (
+	obsCacheHits   = obs.NewCounter("fatgather_workload_cache_hits_total")
+	obsCacheMisses = obs.NewCounter("fatgather_workload_cache_misses_total")
 )
 
 // Cache memoizes Generate per (kind, n, seed), so that expanded batches stop
@@ -48,8 +58,10 @@ func (c *Cache) Generate(kind Kind, n int, seed int64) (config.Geometric, error)
 	if !ok {
 		e = &cacheEntry{}
 		c.entries[key] = e
+		obsCacheMisses.Inc()
 	} else {
 		c.hits++
+		obsCacheHits.Inc()
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {

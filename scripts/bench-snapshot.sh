@@ -11,6 +11,14 @@
 # use `go test -bench . -benchtime 10s -count 10` + benchstat for real
 # performance work.
 #
+# Alongside the micro-benchmarks the snapshot carries an "obs" section: a
+# small fixed gatherbench run dumps its internal/obs telemetry
+# (-telemetry-out) and the macro rates derived from it — simulation
+# events/sec and the workload-cache hit rate — land next to the ns/op
+# numbers as an end-to-end throughput fingerprint. The obs keys
+# deliberately avoid the "ns_per_op" substring bench-compare.sh greps for,
+# so the regression gate ignores them.
+#
 # Usage: scripts/bench-snapshot.sh [output.json]
 #   default output: BENCH_<git short rev>.json in the repo root
 set -euo pipefail
@@ -19,9 +27,29 @@ cd "$(dirname "$0")/.."
 rev=$(git rev-parse --short HEAD)
 out="${1:-BENCH_${rev}.json}"
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+telemetry=$(mktemp)
+trap 'rm -f "$raw" "$telemetry"' EXIT
 
 go test -run XXX -bench . -benchtime 1x -benchmem ./... | tee "$raw"
+
+echo "obs fingerprint: gatherbench -only E5 -seeds 2 -max-events 1500"
+go run ./cmd/gatherbench -only E5 -seeds 2 -max-events 1500 \
+  -telemetry-out "$telemetry" > /dev/null
+
+# Pull the raw numbers out of the snapshot JSON (stable indented layout,
+# integer counters, float uptime) and derive the rates in awk.
+snap_int() {
+  sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$telemetry" | head -1
+}
+obs_events=$(snap_int fatgather_sim_events_total); obs_events=${obs_events:-0}
+obs_hits=$(snap_int fatgather_workload_cache_hits_total); obs_hits=${obs_hits:-0}
+obs_misses=$(snap_int fatgather_workload_cache_misses_total); obs_misses=${obs_misses:-0}
+obs_uptime=$(sed -n 's/.*"uptime_seconds": \([0-9.eE+-]*\).*/\1/p' "$telemetry" | head -1)
+obs_uptime=${obs_uptime:-0}
+obs_eps=$(awk -v e="$obs_events" -v u="$obs_uptime" \
+  'BEGIN { printf "%.1f", (u > 0 ? e / u : 0) }')
+obs_hit_rate=$(awk -v h="$obs_hits" -v m="$obs_misses" \
+  'BEGIN { t = h + m; printf "%.4f", (t > 0 ? h / t : 0) }')
 
 # Benchmark result lines look like
 #   BenchmarkName/sub-8   1   123456 ns/op   2048 B/op   12 allocs/op
@@ -46,13 +74,20 @@ awk -v rev="$rev" '
     }
     if (ns != "") printf "%s:%s\t%s\t%s\n", pkg, name, ns, allocs
   }
-' "$raw" | sort | awk -v rev="$rev" '
+' "$raw" | sort | awk -v rev="$rev" \
+    -v eps="$obs_eps" -v hit_rate="$obs_hit_rate" -v events="$obs_events" '
   BEGIN { printf "{\n  \"rev\": \"%s\",\n  \"benchmarks\": {\n", rev }
   {
     if (NR > 1) printf ",\n"
     printf "    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3
   }
-  END { printf "\n  }\n}\n" }
+  END {
+    printf "\n  },\n  \"obs\": {\n"
+    printf "    \"sim_events_total\": %s,\n", events
+    printf "    \"sim_events_per_sec\": %s,\n", eps
+    printf "    \"workload_cache_hit_rate\": %s\n", hit_rate
+    printf "  }\n}\n"
+  }
 ' > "$out"
 
 count=$(grep -c '"ns_per_op"' "$out")
@@ -60,4 +95,4 @@ if [ "$count" -eq 0 ]; then
   echo "bench-snapshot: no benchmark results parsed" >&2
   exit 1
 fi
-echo "wrote $out ($count benchmarks)"
+echo "wrote $out ($count benchmarks; obs: ${obs_eps} events/sec, cache hit rate ${obs_hit_rate})"
