@@ -7,6 +7,7 @@ import (
 	"github.com/fatgather/fatgather/internal/engine"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/sweep"
+	"github.com/fatgather/fatgather/internal/sweep/netbackend"
 	"github.com/fatgather/fatgather/internal/workload"
 )
 
@@ -44,6 +45,14 @@ type BatchOptions struct {
 	// restarted batch re-runs only the cells the store does not hold yet;
 	// the results are byte-identical to an uninterrupted run.
 	SweepDir string
+	// Coordinator, when non-empty, is the base URL of a gatherd coordinator
+	// (http://host:port); the batch then checkpoints and coordinates through
+	// the coordinator's "batch" store instead of a shared filesystem
+	// directory. Mutually exclusive with SweepDir. Coordinator batches always
+	// resume: the coordinator's record log is shared fleet state, never reset
+	// by one worker. Composes with ShardOwner exactly like SweepDir does —
+	// leases just live on the coordinator instead of in lease files.
+	Coordinator string
 	// Resume reuses completed cells found in SweepDir; without it an
 	// existing store is reset and the batch starts clean.
 	Resume bool
@@ -222,8 +231,11 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		return BatchResult{}, fmt.Errorf("%w: SeedStart must be positive (or 0 for the default), got %d", ErrBadOptions, opts.SeedStart)
 	}
 	sharded := opts.ShardOwner != "" || opts.Shards > 1
-	if sharded && opts.ShardOwner != "" && opts.SweepDir == "" {
-		return BatchResult{}, fmt.Errorf("%w: ShardOwner requires SweepDir (leases live in the shared sweep directory)", ErrBadOptions)
+	if opts.SweepDir != "" && opts.Coordinator != "" {
+		return BatchResult{}, fmt.Errorf("%w: SweepDir and Coordinator are mutually exclusive (pick one coordination medium)", ErrBadOptions)
+	}
+	if sharded && opts.ShardOwner != "" && opts.SweepDir == "" && opts.Coordinator == "" {
+		return BatchResult{}, fmt.Errorf("%w: ShardOwner requires SweepDir or Coordinator (leases live in the shared sweep directory or on the coordinator)", ErrBadOptions)
 	}
 	if opts.Steal && opts.ShardOwner == "" {
 		return BatchResult{}, fmt.Errorf("%w: Steal requires ShardOwner (stealing is arbitrated through lease files)", ErrBadOptions)
@@ -262,6 +274,22 @@ func RunBatch(opts BatchOptions) (BatchResult, error) {
 		Cache:  workload.NewCache(),
 	}
 	var warnings []string
+	if opts.Coordinator != "" {
+		cli, err := netbackend.NewClient(opts.Coordinator, "batch")
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+		st, err := sweep.OpenBackend(cli)
+		if err != nil {
+			_ = cli.Close()
+			return BatchResult{}, err
+		}
+		// Coordinator batches always resume: the record log is the fleet's
+		// shared state, and a lone worker must not reset it under its peers.
+		defer st.Close()
+		warnings = st.Warnings()
+		sweepOpts.Store = st
+	}
 	if opts.SweepDir != "" {
 		open := sweep.Open
 		if sharded {

@@ -3,11 +3,14 @@ package fatgather
 import (
 	"errors"
 	"fmt"
+	"net/http/httptest"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/fatgather/fatgather/internal/sweep/netbackend"
 )
 
 func TestRunBatchShapeAndDeterminism(t *testing.T) {
@@ -103,6 +106,59 @@ func TestRunBatchRejectsBadOptions(t *testing.T) {
 	// replay exactly; it must be rejected up front.
 	if _, err := RunBatch(BatchOptions{SeedStart: -1, Seeds: 2}); !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("negative SeedStart: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{SweepDir: "x", Coordinator: "http://localhost:9340"}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("SweepDir+Coordinator: got %v", err)
+	}
+	if _, err := RunBatch(BatchOptions{Coordinator: "localhost:9340"}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("malformed Coordinator URL: got %v", err)
+	}
+}
+
+// TestRunBatchCoordinator runs a sharded batch through an in-process gatherd
+// coordinator — no sweep directory — and checks it matches an in-memory run.
+func TestRunBatchCoordinator(t *testing.T) {
+	opts := BatchOptions{Ns: []int{3}, Seeds: 2, MaxEvents: 600}
+	want, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := netbackend.NewServer("")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		_ = srv.Close()
+	}()
+
+	opts.Coordinator = ts.URL
+	opts.ShardOwner = "w1"
+	got, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		t.Fatalf("coordinator batch ran %d cells, want %d", len(got.Cells), len(want.Cells))
+	}
+	for i := range got.Cells {
+		if got.Cells[i].Cell != want.Cells[i].Cell || !reflect.DeepEqual(got.Cells[i].Result, want.Cells[i].Result) {
+			t.Fatalf("cell %d differs via coordinator:\n%+v\nvs\n%+v", i, got.Cells[i], want.Cells[i])
+		}
+	}
+	if got.Executed == 0 {
+		t.Fatal("coordinator batch executed no cells")
+	}
+	// A second, resuming batch restores everything from the coordinator.
+	again, err := RunBatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executed != 0 || again.Restored != len(want.Cells) {
+		t.Fatalf("resumed coordinator batch executed %d / restored %d, want 0 / %d",
+			again.Executed, again.Restored, len(want.Cells))
 	}
 }
 

@@ -48,6 +48,16 @@
 //	gatherbench -only E14 -out sweep/ -adaptive-ci 800 -shard-owner w2
 //	gatherbench -only E5 -out sweep/ -shard-owner w1 -shards 2 -shard-id 0 -steal
 //
+// Network coordination: -coordinator replaces the shared sweep directory
+// with a gatherd daemon (cmd/gatherd) — same leases, records and adaptive
+// state, spoken over HTTP to per-experiment stores on the coordinator, so a
+// fleet needs no shared mount. Coordinator runs always resume; the tables
+// stay byte-identical to a filesystem or single-process run:
+//
+//	gatherd -addr :9340 -dir coord/ &
+//	gatherbench -only E13 -coordinator http://localhost:9340 -shard-owner w1
+//	gatherbench -only E13 -coordinator http://localhost:9340 -shard-owner w2
+//
 // Merge: static shards that ran WITHOUT a shared filesystem each hold a
 // partial store; copy the sweep directories to one host and merge them
 // (records from a different engine version are rejected), then resume from
@@ -128,6 +138,7 @@ func run(args []string, out io.Writer) error {
 	noise := fs.Float64("noise", 0, "sensor-noise fault: every sensed non-self center is displaced by a uniform offset of at most this distance (composes with -adversary)")
 	trunc := fs.Float64("trunc", 0, "motion-truncation fault: each move grant is scaled by a uniform factor in (1-trunc, 1], possibly undercutting the liveness delta (composes with -adversary; must be < 1)")
 	outDir := fs.String("out", "", "sweep directory: stream every cell result to <out>/<experiment> as workers finish")
+	coordinator := fs.String("coordinator", "", "gatherd coordinator base URL (http://host:port): checkpoint and coordinate through per-experiment stores on the network coordinator instead of a shared -out directory (mutually exclusive with -out; implies -resume; composes with -shard-owner and -adaptive-ci)")
 	resume := fs.Bool("resume", false, "re-use completed cells found in -out and run only the missing ones (requires -out)")
 	adaptiveCI := fs.Float64("adaptive-ci", 0, "adaptive seed scheduling: grow each cell group's seeds until the 95% CI half-width of its event count falls below this target (0 = fixed seeds)")
 	adaptiveMax := fs.Int("adaptive-max-seeds", 0, "seed cap per cell group in adaptive mode (0 = default cap)")
@@ -153,8 +164,11 @@ func run(args []string, out io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
 	}
-	if *resume && *outDir == "" {
-		return fmt.Errorf("-resume requires -out (nothing to resume from)")
+	if *coordinator != "" && *outDir != "" {
+		return fmt.Errorf("-coordinator and -out are mutually exclusive (pick one coordination medium)")
+	}
+	if *resume && *outDir == "" && *coordinator == "" {
+		return fmt.Errorf("-resume requires -out or -coordinator (nothing to resume from)")
 	}
 	if *adaptiveCI < 0 {
 		return fmt.Errorf("-adaptive-ci must be non-negative, got %g", *adaptiveCI)
@@ -165,8 +179,8 @@ func run(args []string, out io.Writer) error {
 	if *adaptiveMax > 0 && *adaptiveCI == 0 {
 		return fmt.Errorf("-adaptive-max-seeds requires -adaptive-ci (it only caps adaptive scheduling)")
 	}
-	if *shardOwner != "" && *outDir == "" {
-		return fmt.Errorf("-shard-owner requires -out (leases and results live in the shared sweep directory)")
+	if *shardOwner != "" && *outDir == "" && *coordinator == "" {
+		return fmt.Errorf("-shard-owner requires -out or -coordinator (leases and results live in the shared sweep directory or on the coordinator)")
 	}
 	if *leaseTTL < 0 {
 		return fmt.Errorf("-lease-ttl must be non-negative, got %v", *leaseTTL)
@@ -244,7 +258,8 @@ func run(args []string, out io.Writer) error {
 		Adversary:        advSpecStr,
 		Workers:          *workers,
 		SweepDir:         *outDir,
-		Resume:           *resume || *shardOwner != "",
+		Coordinator:      *coordinator,
+		Resume:           *resume || *shardOwner != "" || *coordinator != "",
 		AdaptiveCI:       *adaptiveCI,
 		AdaptiveMaxSeeds: *adaptiveMax,
 		ShardOwner:       *shardOwner,

@@ -32,6 +32,8 @@ func TestRunRejectsDegenerateFlags(t *testing.T) {
 		{"negative max-events", []string{"-max-events", "-1"}, "-max-events must be positive"},
 		{"negative workers", []string{"-workers", "-1"}, "-workers must be non-negative"},
 		{"resume without out", []string{"-resume"}, "-resume requires -out"},
+		{"coordinator with out", []string{"-coordinator", "http://localhost:9340", "-out", "sweep"}, "-coordinator and -out are mutually exclusive"},
+		{"malformed coordinator URL", []string{"-coordinator", "localhost:9340"}, "coordinator URL must be http(s)"},
 		{"negative adaptive-ci", []string{"-adaptive-ci", "-1"}, "-adaptive-ci must be non-negative"},
 		{"negative adaptive cap", []string{"-adaptive-max-seeds", "-1"}, "-adaptive-max-seeds must be non-negative"},
 		{"adaptive cap without target", []string{"-adaptive-max-seeds", "8"}, "-adaptive-max-seeds requires -adaptive-ci"},

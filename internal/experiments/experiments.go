@@ -17,6 +17,7 @@ import (
 	"github.com/fatgather/fatgather/internal/sched"
 	"github.com/fatgather/fatgather/internal/sim"
 	"github.com/fatgather/fatgather/internal/sweep"
+	"github.com/fatgather/fatgather/internal/sweep/netbackend"
 	"github.com/fatgather/fatgather/internal/vision"
 	"github.com/fatgather/fatgather/internal/workload"
 )
@@ -90,6 +91,15 @@ type Config struct {
 	// Resume — reuse completed cells on restart. Tables are byte-identical to
 	// an uninterrupted in-memory run.
 	SweepDir string
+	// Coordinator, when non-empty, is the base URL of a gatherd coordinator
+	// (http://host:port): the multi-run experiments then checkpoint and
+	// coordinate through per-experiment stores on the coordinator (store
+	// names E5, E7, ...) instead of a shared filesystem directory. Mutually
+	// exclusive with SweepDir. Coordinator runs always resume — the record
+	// log is the fleet's shared state, never reset by one worker — and
+	// compose with ShardOwner exactly like SweepDir does: leases just live on
+	// the coordinator instead of in lease files.
+	Coordinator string
 	// Resume reuses the completed cells found in SweepDir; without it an
 	// existing store is reset and the sweep starts clean.
 	Resume bool
@@ -153,8 +163,18 @@ func (c Config) Validate() error {
 			return fmt.Errorf("experiments: Adversary: %w", err)
 		}
 	}
-	if c.Resume && c.SweepDir == "" {
-		return fmt.Errorf("experiments: Resume requires SweepDir")
+	if c.SweepDir != "" && c.Coordinator != "" {
+		return fmt.Errorf("experiments: SweepDir and Coordinator are mutually exclusive (pick one coordination medium)")
+	}
+	if c.Coordinator != "" {
+		// The store name is appended per experiment; validate the URL with a
+		// placeholder so a typo fails here, not on the first claim.
+		if _, err := netbackend.NewClient(c.Coordinator, "validate"); err != nil {
+			return fmt.Errorf("experiments: Coordinator: %w", err)
+		}
+	}
+	if c.Resume && c.SweepDir == "" && c.Coordinator == "" {
+		return fmt.Errorf("experiments: Resume requires SweepDir or Coordinator")
 	}
 	if c.AdaptiveCI < 0 {
 		return fmt.Errorf("experiments: AdaptiveCI must be non-negative, got %g", c.AdaptiveCI)
@@ -162,8 +182,8 @@ func (c Config) Validate() error {
 	if c.AdaptiveMaxSeeds < 0 {
 		return fmt.Errorf("experiments: AdaptiveMaxSeeds must be non-negative, got %d", c.AdaptiveMaxSeeds)
 	}
-	if c.ShardOwner != "" && c.SweepDir == "" {
-		return fmt.Errorf("experiments: ShardOwner requires SweepDir (leases live in the shared sweep directory)")
+	if c.ShardOwner != "" && c.SweepDir == "" && c.Coordinator == "" {
+		return fmt.Errorf("experiments: ShardOwner requires SweepDir or Coordinator (leases live in the shared sweep directory or on the coordinator)")
 	}
 	if c.LeaseTTL < 0 {
 		return fmt.Errorf("experiments: LeaseTTL must be non-negative, got %v", c.LeaseTTL)
@@ -212,6 +232,21 @@ func (c Config) warnf(format string, args ...any) {
 	obs.Warnf("experiments", format, args...)
 }
 
+// openCoordinatorStore opens an experiment's named store on a gatherd
+// coordinator (the network counterpart of sweep.OpenShared on SweepDir/<id>).
+func openCoordinatorStore(coordinator, id string) (*sweep.Store, error) {
+	cli, err := netbackend.NewClient(coordinator, id)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sweep.OpenBackend(cli)
+	if err != nil {
+		_ = cli.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
 // runCells executes an experiment's cell grid through the resumable sweep
 // layer: workload generation is memoized per (kind, n, seed), results stream
 // to SweepDir/<id> when checkpointing is on, and adaptive seed scheduling
@@ -244,6 +279,22 @@ func (c Config) runCells(id string, cells []engine.Cell) ([]engine.CellResult, [
 	}
 	opts := sweep.Options{Engine: c.engineOpts(), Cache: workload.NewCache()}
 	sharded := c.sharded()
+	if c.Coordinator != "" {
+		st, err := openCoordinatorStore(c.Coordinator, id)
+		if err != nil {
+			// Checkpointing is an accelerator, never a gate — same contract as
+			// an unusable SweepDir: warn and run the sweep in memory.
+			c.warnf("experiments: %s: %v (running without checkpoints)", id, err)
+		} else {
+			// Coordinator runs always resume; the record log is the fleet's
+			// shared state and is never reset by one worker.
+			defer st.Close()
+			for _, w := range st.Warnings() {
+				c.warnf("experiments: %s: %s", id, w)
+			}
+			opts.Store = st
+		}
+	}
 	if c.SweepDir != "" {
 		open := sweep.Open
 		if sharded {

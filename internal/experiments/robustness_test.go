@@ -197,6 +197,7 @@ func TestConfigValidate(t *testing.T) {
 		{Seeds: 3, MaxEvents: 100},
 		{Shards: 2, ShardIndex: 1, SweepDir: "x", Resume: true},
 		{Adversary: "crash(2)"},
+		{Coordinator: "http://localhost:9340", ShardOwner: "w1", Resume: true},
 	}
 	for i, c := range good {
 		if err := c.Validate(); err != nil {
@@ -215,6 +216,8 @@ func TestConfigValidate(t *testing.T) {
 		{Config{ShardOwner: "w"}, "ShardOwner requires SweepDir"},
 		{Config{LeaseTTL: -1}, "LeaseTTL must be non-negative"},
 		{Config{Resume: true}, "Resume requires SweepDir"},
+		{Config{SweepDir: "x", Coordinator: "http://localhost:9340"}, "mutually exclusive"},
+		{Config{Coordinator: "localhost:9340"}, "coordinator URL must be http(s)"},
 		{Config{Adversary: "bogus"}, "unknown adversary strategy"},
 		{Config{AdaptiveCI: -1}, "AdaptiveCI must be non-negative"},
 	}

@@ -257,8 +257,8 @@ func isNotClaimed(err error) bool {
 func runAdaptiveCooperative(groups map[string]*adaptiveShardGroup, order []string,
 	eopts Options, ad Adaptive, sh Shard, stats *ShardStats, record func(string, adaptiveProgress)) {
 	store := eopts.Store
-	lm := newLeaseManager(store.Dir(), sh)
-	pub := newAdaptivePublisher(store.Dir(), sh.Owner)
+	lm := newClaimer(store.Backend(), sh)
+	pub := newStatePublisher(store.Backend(), sh.Owner)
 
 	closed := make(map[string]bool)
 	// local holds results this worker ran that the store could not persist

@@ -74,25 +74,96 @@ func (a adaptiveState) marshal() []byte {
 	return append(body, '\n')
 }
 
-// adaptivePublisher reads and atomically publishes adaptive-state records in
-// one sweep directory. The discipline mirrors the lease files: a record is
-// materialized in a temp file first and enters the directory atomically
-// (hard-link for the first publication, rename for updates), so a reader
-// never observes a torn record — at worst a stale or missing one, both of
-// which degrade to recomputation from the result store.
-type adaptivePublisher struct {
-	dir   string // <sweep dir>/adaptive
-	owner string
+// stateSink is the adaptive-state corner of the Backend interface: opaque
+// per-group bodies published atomically and read back best-effort. Both
+// fsStateDir (the adaptive/ directory of a sweep directory) and every full
+// Backend satisfy it.
+type stateSink interface {
+	PublishState(group, owner string, body []byte) error
+	LoadState(group string) (body []byte, ok bool, err error)
 }
 
-func newAdaptivePublisher(sweepDir, owner string) *adaptivePublisher {
-	return &adaptivePublisher{dir: filepath.Join(sweepDir, adaptiveDir), owner: owner}
+// fsStateDir publishes adaptive-state records into one adaptive/ directory.
+// The discipline mirrors the lease files: a record is materialized in a temp
+// file first and enters the directory atomically (hard-link for the first
+// publication, rename for updates), so a reader never observes a torn record
+// — at worst a stale or missing one, both of which degrade to recomputation
+// from the result store.
+type fsStateDir struct {
+	dir string // <sweep dir>/adaptive
 }
 
 // pathFor returns the state file path for a cell group (same hash scheme as
 // the lease files, so the two directories line up for debugging).
+func (d fsStateDir) pathFor(groupKey string) string {
+	return filepath.Join(d.dir, fmt.Sprintf("state-%016x.json", shardHash(groupKey)))
+}
+
+// LoadState reads a group's raw state record; a missing or unreadable file
+// reports ok == false, never an error.
+func (d fsStateDir) LoadState(group string) ([]byte, bool, error) {
+	data, err := os.ReadFile(d.pathFor(group))
+	if err != nil {
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+// PublishState atomically replaces a group's state record; the owner keys the
+// temp file so concurrent publishers never collide before the atomic step.
+func (d fsStateDir) PublishState(group, owner string, body []byte) error {
+	return d.publish(group, owner, body)
+}
+
+func (d fsStateDir) publish(group, owner string, body []byte) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: create adaptive dir: %w", err)
+	}
+	path := d.pathFor(group)
+	tmp := fmt.Sprintf("%s.pub.%016x", path, shardHash(owner))
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return fmt.Errorf("sweep: write adaptive state: %w", err)
+	}
+	// First publication: link into place so a concurrent first publisher
+	// cannot be half-overwritten; afterwards, atomic replace.
+	if err := os.Link(tmp, path); err == nil {
+		os.Remove(tmp)
+		return nil
+	} else if !errors.Is(err, os.ErrExist) {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: publish adaptive state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sweep: publish adaptive state: %w", err)
+	}
+	return nil
+}
+
+// adaptivePublisher reads and atomically publishes adaptive-state records
+// through a state sink — the adaptive/ directory of a sweep directory, or
+// whatever Backend the sweep coordinates over.
+type adaptivePublisher struct {
+	fs    fsStateDir // FS path helper; zero when the sink is not a directory
+	sink  stateSink
+	owner string
+}
+
+func newAdaptivePublisher(sweepDir, owner string) *adaptivePublisher {
+	d := fsStateDir{dir: filepath.Join(sweepDir, adaptiveDir)}
+	return &adaptivePublisher{fs: d, sink: d, owner: owner}
+}
+
+// newStatePublisher is newAdaptivePublisher over an arbitrary backend: the
+// cooperating adaptive runners publish through the same medium that carries
+// the records and leases.
+func newStatePublisher(b Backend, owner string) *adaptivePublisher {
+	return &adaptivePublisher{sink: b, owner: owner}
+}
+
+// pathFor returns the state file path for a cell group of a directory-backed
+// publisher (tests inspect and corrupt records through it).
 func (p *adaptivePublisher) pathFor(groupKey string) string {
-	return filepath.Join(p.dir, fmt.Sprintf("state-%016x.json", shardHash(groupKey)))
+	return p.fs.pathFor(groupKey)
 }
 
 // read returns the published state of a cell group. ok is false when the
@@ -100,8 +171,8 @@ func (p *adaptivePublisher) pathFor(groupKey string) string {
 // version, or names a different group (a hash collision): all of those mean
 // "recompute from the store".
 func (p *adaptivePublisher) read(groupKey string, engineVersion string) (adaptiveState, bool) {
-	data, err := os.ReadFile(p.pathFor(groupKey))
-	if err != nil {
+	data, ok, err := p.sink.LoadState(groupKey)
+	if err != nil || !ok {
 		return adaptiveState{}, false
 	}
 	var wire adaptiveStateJSON
@@ -123,28 +194,8 @@ func (p *adaptivePublisher) read(groupKey string, engineVersion string) (adaptiv
 // accelerator and an observability artifact, the result store alone carries
 // correctness.
 func (p *adaptivePublisher) publish(st adaptiveState) error {
-	if err := os.MkdirAll(p.dir, 0o755); err != nil {
-		return fmt.Errorf("sweep: create adaptive dir: %w", err)
-	}
 	st.Owner = p.owner
 	//gatherlint:ignore nondetsource Updated is observability metadata on an accelerator record; results never read it
 	st.Updated = time.Now().UnixNano()
-	path := p.pathFor(st.Group)
-	tmp := fmt.Sprintf("%s.pub.%016x", path, shardHash(p.owner))
-	if err := os.WriteFile(tmp, st.marshal(), 0o644); err != nil {
-		return fmt.Errorf("sweep: write adaptive state: %w", err)
-	}
-	// First publication: link into place so a concurrent first publisher
-	// cannot be half-overwritten; afterwards, atomic replace.
-	if err := os.Link(tmp, path); err == nil {
-		os.Remove(tmp)
-		return nil
-	} else if !errors.Is(err, os.ErrExist) {
-		os.Remove(tmp)
-		return fmt.Errorf("sweep: publish adaptive state: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("sweep: publish adaptive state: %w", err)
-	}
-	return nil
+	return p.sink.PublishState(st.Group, p.owner, st.marshal())
 }

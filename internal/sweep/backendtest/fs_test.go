@@ -1,0 +1,24 @@
+package backendtest
+
+import (
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/sweep"
+)
+
+// TestFSBackendConformance proves the reference filesystem implementation
+// against the contract it defined: one temp sweep directory per subtest, one
+// FSBackend view per connector call (two calls = two workers sharing the
+// directory, exactly like two OpenShared processes).
+func TestFSBackendConformance(t *testing.T) {
+	Run(t, func(t *testing.T) func() sweep.Backend {
+		dir := t.TempDir()
+		return func() sweep.Backend {
+			b, err := sweep.NewFSBackend(dir)
+			if err != nil {
+				t.Fatalf("NewFSBackend(%s): %v", dir, err)
+			}
+			return b
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package netbackend_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/fatgather/fatgather/internal/sweep"
+	"github.com/fatgather/fatgather/internal/sweep/backendtest"
+	"github.com/fatgather/fatgather/internal/sweep/netbackend"
+)
+
+// TestGatherdConformance proves the network backend against the same
+// conformance suite the filesystem backend passes: one in-process gatherd per
+// subtest, one Client per connector call (two calls = two workers coordinated
+// by the same daemon).
+func TestGatherdConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) func() sweep.Backend {
+		srv, err := netbackend.NewServer("")
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			_ = srv.Close()
+		})
+		return func() sweep.Backend {
+			c, err := netbackend.NewClient(ts.URL, "conformance")
+			if err != nil {
+				t.Fatalf("NewClient(%s): %v", ts.URL, err)
+			}
+			return c
+		}
+	})
+}

@@ -212,30 +212,32 @@ type lease struct {
 // had already replaced — and only then claiming. Losing any of these races
 // is reported as "not claimed".
 func (m *leaseManager) claim(groupKey string) (*lease, bool, error) {
+	if err := CheckLeaseTTL(m.ttl); err != nil {
+		return nil, false, err
+	}
 	if err := os.MkdirAll(m.dir, 0o755); err != nil {
 		return nil, false, fmt.Errorf("sweep: create lease dir: %w", err)
 	}
 	l := &lease{m: m, path: m.pathFor(groupKey), group: groupKey}
 	err := l.create()
 	if err == nil {
-		obsLeaseClaims.Inc()
 		return l, false, nil
 	}
 	if !errors.Is(err, os.ErrExist) {
 		return nil, false, err
 	}
 	rec, rerr := readLease(l.path)
-	if rerr == nil && rec.Owner != m.owner && m.now().UnixNano() < rec.Expires {
+	if rerr == nil && rec.Owner != m.owner && m.fresh(rec) {
 		return nil, false, nil // fresh foreign lease
 	}
-	// Stale, corrupt/torn, or our own (a restarted worker reclaims itself):
-	// take the inode by renaming it to a name private to this owner.
+	// Stale, corrupt/torn, clock-skewed, or our own (a restarted worker
+	// reclaims itself): take the inode by renaming it to a name private to
+	// this owner.
 	aside := fmt.Sprintf("%s.reclaim.%016x", l.path, shardHash(m.owner))
 	if err := os.Rename(l.path, aside); err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			// Released or reclaimed underneath us; try a fresh claim.
 			if cerr := l.create(); cerr == nil {
-				obsLeaseClaims.Inc()
 				return l, false, nil
 			} else if errors.Is(cerr, os.ErrExist) {
 				return nil, false, nil
@@ -245,7 +247,7 @@ func (m *leaseManager) claim(groupKey string) (*lease, bool, error) {
 		}
 		return nil, false, fmt.Errorf("sweep: reclaim lease: %w", err)
 	}
-	if got, gerr := readLease(aside); gerr == nil && got.Owner != m.owner && m.now().UnixNano() < got.Expires {
+	if got, gerr := readLease(aside); gerr == nil && got.Owner != m.owner && m.fresh(got) {
 		// Between our read and the rename, a faster reclaimer replaced the
 		// stale lease with a fresh one of its own — we grabbed a live lease.
 		// Put it back (atomically; if a third worker claimed the path in the
@@ -265,9 +267,17 @@ func (m *leaseManager) claim(groupKey string) (*lease, bool, error) {
 		}
 		return nil, false, err
 	}
-	obsLeaseClaims.Inc()
-	obsLeaseReclaims.Inc()
 	return l, true, nil
+}
+
+// fresh reports whether a lease record is live: not yet expired, with an
+// expiry no further out than MaxLeaseHorizon. A farther expiry can only come
+// from a peer's badly skewed clock or a corrupt record; honoring it would pin
+// the group until that far-future instant passes — long after the writer died
+// — so such a lease is treated as reclaimable instead.
+func (m *leaseManager) fresh(rec leaseRecord) bool {
+	now := m.now()
+	return now.UnixNano() < rec.Expires && rec.Expires <= now.Add(MaxLeaseHorizon).UnixNano()
 }
 
 // create atomically publishes a fresh lease file: the body is written to a
@@ -309,6 +319,9 @@ func (l *lease) body() []byte {
 // keeps running, which at worst duplicates the group's cells with
 // bit-identical records.
 func (l *lease) renew() (bool, error) {
+	if err := CheckLeaseTTL(l.m.ttl); err != nil {
+		return false, err
+	}
 	if rec, err := readLease(l.path); err == nil && rec.Owner != l.m.owner {
 		return false, nil
 	}
@@ -319,7 +332,6 @@ func (l *lease) renew() (bool, error) {
 	if err := os.Rename(tmp, l.path); err != nil {
 		return false, fmt.Errorf("sweep: renew lease: %w", err)
 	}
-	obsLeaseRenewals.Inc()
 	return true, nil
 }
 
@@ -336,6 +348,14 @@ func (l *lease) release() {
 // the group becomes reclaimable, which is safe (duplicate runs append
 // bit-identical records).
 func (l *lease) heartbeat(every time.Duration) (stop func()) {
+	return heartbeatLoop(every, l.renew)
+}
+
+// heartbeatLoop runs renew every interval until it reports false (the lease
+// was lost to a peer — stop renewing and let arbitration stand) or the
+// returned stop function is called. Renewal errors are ignored: the lease
+// then simply expires and the group becomes reclaimable.
+func heartbeatLoop(every time.Duration, renew func() (bool, error)) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -348,7 +368,7 @@ func (l *lease) heartbeat(every time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				if ok, _ := l.renew(); !ok {
+				if ok, _ := renew(); !ok {
 					return
 				}
 			}
@@ -373,6 +393,67 @@ func readLease(path string) (leaseRecord, error) {
 		return rec, errors.New("sweep: lease without owner")
 	}
 	return rec, nil
+}
+
+// claimer arbitrates cell-group claims for one worker through the store's
+// coordination backend — lease files for FSBackend, gatherd's lease table for
+// the network backend. It is the transport-independent face the sharded
+// runners use, and the one place the worker-side lease telemetry counts.
+type claimer struct {
+	b     Backend
+	owner string
+	ttl   time.Duration
+}
+
+func newClaimer(b Backend, sh Shard) *claimer {
+	return &claimer{b: b, owner: sh.Owner, ttl: sh.TTL}
+}
+
+// claim tries to take the lease on a cell group. It returns (nil, false)
+// when another worker holds a fresh lease; otherwise the claimed lease and
+// whether it was reclaimed from a stale/corrupt/abandoned predecessor.
+func (c *claimer) claim(group string) (*claimed, bool, error) {
+	status, err := c.b.TryClaim(group, c.owner, c.ttl)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case LeaseWon:
+		obsLeaseClaims.Inc()
+		return &claimed{c: c, group: group}, false, nil
+	case LeaseReclaimed:
+		obsLeaseClaims.Inc()
+		obsLeaseReclaims.Inc()
+		return &claimed{c: c, group: group}, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// claimed is one lease held through a claimer.
+type claimed struct {
+	c     *claimer
+	group string
+}
+
+// renew extends the lease, backing off (false) when a peer meanwhile
+// reclaimed the group.
+func (l *claimed) renew() (bool, error) {
+	ok, err := l.c.b.RenewLease(l.group, l.c.owner, l.c.ttl)
+	if err == nil && ok {
+		obsLeaseRenewals.Inc()
+	}
+	return ok, err
+}
+
+// release drops the lease (only if still ours).
+func (l *claimed) release() {
+	_ = l.c.b.ReleaseLease(l.group, l.c.owner)
+}
+
+// heartbeat renews the lease every interval until stopped or lost.
+func (l *claimed) heartbeat(every time.Duration) (stop func()) {
+	return heartbeatLoop(every, l.renew)
 }
 
 // RunSharded executes the cells as one worker of a multi-process sweep: cell
@@ -413,9 +494,9 @@ func RunSharded(cells []engine.Cell, opts Options, sh Shard) ([]engine.CellResul
 
 	obs.SweepGroups(len(order))
 
-	var lm *leaseManager
+	var lm *claimer
 	if sh.Owner != "" && opts.Store != nil {
-		lm = newLeaseManager(opts.Store.Dir(), sh)
+		lm = newClaimer(opts.Store.Backend(), sh)
 	}
 
 	// Inner runs go through the resumable layer but must not stream: the

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -154,24 +153,29 @@ type Stored struct {
 	Elapsed time.Duration
 }
 
-// Store is an append-only JSONL checkpoint of completed sweep cells inside a
-// sweep directory. Opening a store loads every readable record; corrupt or
+// Store is an append-only JSONL checkpoint of completed sweep cells over a
+// coordination Backend (a sweep directory by default, the gatherd coordinator
+// over HTTP). Opening a store loads every readable record; corrupt or
 // truncated lines (a sweep killed mid-write) are skipped with a warning and
-// the file is compacted, so the cells they described simply re-run. Records
-// written under a different schema or engine version discard the whole file:
+// the log is compacted, so the cells they described simply re-run. Records
+// written under a different schema or engine version discard the whole log:
 // a version mismatch forces a clean re-run.
 //
 // Store is safe for concurrent use, although the engine's in-order streaming
 // collector only ever appends from one goroutine.
 type Store struct {
 	mu       sync.Mutex
+	b        Backend
 	dir      string
 	path     string
-	f        *os.File
 	done     map[string]Stored
 	warnings []string
+	// appendable is false for read-only stores; Append and Reset then fail
+	// with the same error a closed store reports.
+	appendable bool
+	closed     bool
 	// reloadOff is the byte offset up to which Reload has already parsed the
-	// record file: under OpenShared the file is strictly append-only, so
+	// record log: under shared semantics the log is strictly append-only, so
 	// each Reload only reads the tail the fleet appended since the last one.
 	reloadOff int64
 }
@@ -201,17 +205,8 @@ func OpenReadOnly(dir string) (*Store, error) {
 	if !fi.IsDir() {
 		return nil, fmt.Errorf("sweep: open store: %s is not a directory", dir)
 	}
-	s := &Store{
-		dir:  dir,
-		path: filepath.Join(dir, resultsFile),
-		done: make(map[string]Stored),
-	}
-	if _, _, mismatch, _, err := s.load(); err != nil {
-		return nil, err
-	} else if mismatch {
-		s.done = make(map[string]Stored)
-	}
-	return s, nil
+	// Read-only + shared: never compact, never append.
+	return newStore(newReadOnlyFSBackend(dir), true, false)
 }
 
 // OpenShared is Open for sweep directories that other live processes may be
@@ -222,23 +217,48 @@ func OpenReadOnly(dir string) (*Store, error) {
 // discards the file: mixed-version records must never cohabit a store.
 func OpenShared(dir string) (*Store, error) { return open(dir, true) }
 
+// OpenBackend opens a store over an explicit coordination backend (the
+// gatherd client, a conformance-suite medium). Backend stores always use
+// shared semantics — peers may be appending through the same coordinator, so
+// corrupt lines are skipped rather than compacted away — and are never Reset
+// by the callers that thread a coordinator through (the coordinator's log
+// outlives any single worker, like a resumed shared directory).
+func OpenBackend(b Backend) (*Store, error) { return newStore(b, true, true) }
+
 func open(dir string, shared bool) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("sweep: create dir: %w", err)
+	b, err := NewFSBackend(dir)
+	if err != nil {
+		return nil, err
 	}
+	s, err := newStore(b, shared, true)
+	if err != nil {
+		_ = b.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// newStore loads the completed-cell set over an open backend. shared suppresses
+// corrupt-line compaction (peers may be appending); appendable false makes
+// Append and Reset fail (read-only scans).
+func newStore(b Backend, shared, appendable bool) (*Store, error) {
 	s := &Store{
-		dir:  dir,
-		path: filepath.Join(dir, resultsFile),
-		done: make(map[string]Stored),
+		b:          b,
+		path:       b.String(),
+		done:       make(map[string]Stored),
+		appendable: appendable,
+	}
+	if d, ok := b.(interface{ Dir() string }); ok {
+		s.dir = d.Dir()
 	}
 	good, corrupt, mismatch, consumed, err := s.load()
 	if err != nil {
 		return nil, err
 	}
-	if mismatch || (corrupt && !shared) {
+	if appendable && (mismatch || (corrupt && !shared)) {
 		// Compact: rewrite only the good records, atomically, so a partial
 		// trailing line never corrupts the records appended after it. (On a
-		// version mismatch "good" is empty: the whole file is discarded.)
+		// version mismatch "good" is empty: the whole log is discarded.)
 		if err := s.rewrite(good); err != nil {
 			return nil, err
 		}
@@ -249,29 +269,21 @@ func open(dir string, shared bool) (*Store, error) {
 	}
 	// Reload starts scanning where the initial load stopped.
 	s.reloadOff = consumed
-	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("sweep: open store: %w", err)
-	}
-	s.f = f
 	return s, nil
 }
 
-// load reads the record file (if any) into s.done. It returns the raw good
+// load reads the record log (if any) into s.done. It returns the raw good
 // lines (for compaction), what went wrong — corrupt reports skipped lines,
 // mismatch reports a record from another schema/engine version (which
 // additionally discards everything loaded so far — clean re-run) — and the
 // byte offset after the last complete line, so Reload can resume scanning
-// there instead of re-parsing the whole file.
+// there instead of re-parsing the whole log.
 func (s *Store) load() (good []string, corrupt, mismatch bool, consumed int64, err error) {
 	//gatherlint:ignore nondetsource store-load latency is wall-clock telemetry only, never folded into results
 	loadStart := time.Now()
 	//gatherlint:ignore nondetsource wall-clock telemetry only (see loadStart above)
 	defer func() { obsStoreLoads.Observe(time.Since(loadStart).Seconds()) }()
-	data, err := os.ReadFile(s.path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, false, false, 0, nil
-	}
+	data, _, err := s.b.ReadRecords(0)
 	if err != nil {
 		return nil, false, false, 0, fmt.Errorf("sweep: read store: %w", err)
 	}
@@ -306,48 +318,33 @@ func (s *Store) load() (good []string, corrupt, mismatch bool, consumed int64, e
 	return good, corrupt, false, consumed, nil
 }
 
-// Reload reads the record-file tail appended by other processes since the
+// Reload reads the record-log tail appended by other processes since the
 // last Reload (the sharded coordinator calls it between claim passes, often
-// on a sub-second poll, so it must not re-parse the whole file every time).
+// on a sub-second poll, so it must not re-parse the whole log every time).
 // Only complete, newline-terminated lines are consumed — a torn trailing
 // line is a peer's append in flight and is left for the next Reload — and
 // corrupt lines or records from another schema/engine version are skipped
-// silently; records already in memory are kept as-is. If the file shrank (an
-// exclusive opener compacted or reset it), the next Reload rescans from the
-// start. It returns the number of newly learned cells.
+// silently; records already in memory are kept as-is. If the log shrank (an
+// exclusive opener compacted or reset it, or a memory-only coordinator
+// restarted empty), the next Reload rescans from the start. It returns the
+// number of newly learned cells.
 func (s *Store) Reload() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	f, err := os.Open(s.path)
-	if errors.Is(err, os.ErrNotExist) {
-		s.reloadOff = 0
-		return 0, nil
-	}
+	data, start, err := s.b.ReadRecords(s.reloadOff)
 	if err != nil {
-		return 0, fmt.Errorf("sweep: reload store: %w", err)
-	}
-	//gatherlint:ignore errclose read-only scan handle; a close error cannot un-persist records
-	defer f.Close()
-	fi, err := f.Stat()
-	if err != nil {
-		return 0, fmt.Errorf("sweep: reload store: %w", err)
-	}
-	if fi.Size() < s.reloadOff {
-		s.reloadOff = 0 // compacted/reset underneath us: rescan
-	}
-	if fi.Size() == s.reloadOff {
-		return 0, nil
-	}
-	data := make([]byte, fi.Size()-s.reloadOff)
-	if _, err := f.ReadAt(data, s.reloadOff); err != nil {
 		return 0, fmt.Errorf("sweep: reload store: %w", err)
 	}
 	end := strings.LastIndexByte(string(data), '\n')
 	if end < 0 {
-		return 0, nil // only a torn line so far; retry next poll
+		// Nothing complete beyond start: either fully caught up, or only a
+		// torn line so far (a peer's append in flight) — retry next poll. A
+		// shrunken log (start rewound to 0) rescans from the top then.
+		s.reloadOff = start
+		return 0, nil
 	}
 	chunk := string(data[:end+1])
-	s.reloadOff += int64(end + 1)
+	s.reloadOff = start + int64(end+1)
 	fresh := 0
 	for _, line := range strings.Split(chunk, "\n") {
 		if strings.TrimSpace(line) == "" {
@@ -379,18 +376,14 @@ func (rec record) stored() Stored {
 	return st
 }
 
-// rewrite atomically replaces the record file with the given lines.
+// rewrite atomically replaces the record log with the given lines.
 func (s *Store) rewrite(lines []string) error {
-	tmp := s.path + ".tmp"
 	var b strings.Builder
 	for _, l := range lines {
 		b.WriteString(l)
 		b.WriteByte('\n')
 	}
-	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
-		return fmt.Errorf("sweep: compact store: %w", err)
-	}
-	if err := os.Rename(tmp, s.path); err != nil {
+	if err := s.b.RewriteRecords([]byte(b.String())); err != nil {
 		return fmt.Errorf("sweep: compact store: %w", err)
 	}
 	return nil
@@ -426,12 +419,12 @@ func (s *Store) Append(key string, r engine.CellResult) error {
 	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closed || !s.appendable {
 		return errors.New("sweep: store is closed")
 	}
 	//gatherlint:ignore nondetsource append latency is wall-clock telemetry only, never folded into results
 	appendStart := time.Now()
-	if _, err := s.f.Write(line); err != nil {
+	if err := s.b.AppendRecord(line); err != nil {
 		return fmt.Errorf("sweep: append record: %w", err)
 	}
 	//gatherlint:ignore nondetsource wall-clock telemetry only (see appendStart above)
@@ -469,39 +462,43 @@ func (s *Store) Warnings() []string {
 	return append([]string(nil), s.warnings...)
 }
 
-// Path returns the record file path (useful in logs and tests).
+// Path returns the record location — the record file path for filesystem
+// stores, the coordinator store URL for network ones (useful in logs and
+// tests).
 func (s *Store) Path() string { return s.path }
 
-// Dir returns the sweep directory the store lives in (the sharded
-// coordinator keeps its lease files next to the record file).
+// Dir returns the sweep directory the store lives in ("" for stores over
+// non-filesystem backends).
 func (s *Store) Dir() string { return s.dir }
+
+// Backend returns the coordination backend the store was opened over; the
+// sharded runners claim cell-group leases and publish adaptive state through
+// it, so leases always travel the same medium as the records they guard.
+func (s *Store) Backend() Backend { return s.b }
 
 // Reset discards every stored record: the next run is a clean sweep.
 func (s *Store) Reset() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closed || !s.appendable {
 		return errors.New("sweep: store is closed")
 	}
-	if err := s.f.Truncate(0); err != nil {
-		return fmt.Errorf("sweep: reset store: %w", err)
-	}
-	if _, err := s.f.Seek(0, 0); err != nil {
+	if err := s.b.RewriteRecords(nil); err != nil {
 		return fmt.Errorf("sweep: reset store: %w", err)
 	}
 	s.done = make(map[string]Stored)
+	s.reloadOff = 0
 	return nil
 }
 
-// Close releases the store's file handle. Lookup keeps working; Append and
-// Reset fail after Close.
+// Close releases the store's backend resources. Lookup keeps working; Append
+// and Reset fail after Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closed {
 		return nil
 	}
-	err := s.f.Close()
-	s.f = nil
-	return err
+	s.closed = true
+	return s.b.Close()
 }
